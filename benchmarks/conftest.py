@@ -1,0 +1,29 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper, at
+reduced trial counts (seeds per cell) so the whole suite completes in
+tens of minutes; EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.wehe.corpus import generate_corpus, tdiff_distribution
+
+
+@pytest.fixture(scope="session")
+def tdiff():
+    """T_diff from the synthetic historical corpus (seeded)."""
+    corpus = generate_corpus(np.random.default_rng(1234))
+    return tdiff_distribution(corpus)
+
+
+def print_header(title):
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def print_row(label, value):
+    print(f"  {label:<44} {value}")

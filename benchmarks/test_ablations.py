@@ -1,0 +1,112 @@
+"""Ablations of WeHeY's design choices (DESIGN.md's ablation index).
+
+Each ablation turns one design element off and measures the effect on
+the same scenario set:
+
+1. interval-size sweep density -- Algorithm 1's `(1-FP)|Sigma|` rule
+   over every multiple 10..50 RTT vs a sparse 9-size sweep;
+2. trace modification (pacing / Poisson) -- also covered by Figure 6,
+   measured here on the FP side;
+3. the Section-7 extensions: per-flow throttling without and with
+   WeHeY's flow-merging countermeasure, and a BBR-like sender in place
+   of Cubic.
+"""
+
+import numpy as np
+from conftest import print_header, print_row
+
+from repro.core.localizer import WeHeYLocalizer
+from repro.core.loss_correlation import LossTrendCorrelation
+from repro.experiments.runner import NetsimReplayService, run_detection_experiment
+from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.wild import default_tdiff
+from repro.wehe.apps import make_trace
+from repro.wehe.traces import bit_invert
+
+SEEDS = range(3)
+
+
+def sweep_density_ablation():
+    dense = LossTrendCorrelation()  # 41 sizes
+    sparse = LossTrendCorrelation(rtt_multiples=(10, 15, 20, 25, 30, 35, 40, 45, 50))
+    results = {"dense": [0, 0], "sparse": [0, 0]}
+    for seed in SEEDS:
+        config = ScenarioConfig(app="netflix", limiter="common", seed=seed)
+        record = run_detection_experiment(
+            config, detectors={"dense": dense, "sparse": sparse}
+        )
+        for name in results:
+            results[name][0] += record.verdicts[name]
+            results[name][1] += 1
+    return results
+
+
+def per_flow_extension():
+    outcomes = {}
+    for merge in (False, True):
+        localized = 0
+        for seed in SEEDS:
+            config = ScenarioConfig(app="zoom", limiter="perflow", seed=seed)
+            service = NetsimReplayService(config, merge_flows=merge)
+            trace = make_trace("zoom", config.duration, service._trace_rng)
+            localizer = WeHeYLocalizer(
+                np.random.default_rng(seed), default_tdiff()
+            )
+            report = localizer.localize(service, trace, bit_invert(trace))
+            localized += report.localized
+        outcomes[merge] = localized
+    return outcomes
+
+
+def bbr_replay_comparison():
+    """Algorithm 1 under BBR-like replay flows (Section 7's question)."""
+    from repro.netsim.bbr import BbrSender
+
+    detections = {"cubic": 0, "bbr": 0}
+    for seed in SEEDS:
+        for flavour in detections:
+            config = ScenarioConfig(app="netflix", limiter="common", seed=seed)
+            service = NetsimReplayService(config)
+            trace = make_trace("netflix", config.duration, service._trace_rng)
+            if flavour == "bbr":
+                import repro.wehe.replay as replay_module
+
+                original_sender = replay_module.TcpSender
+                replay_module.TcpSender = BbrSender
+                try:
+                    result = service.simultaneous_replay(trace)
+                finally:
+                    replay_module.TcpSender = original_sender
+            else:
+                result = service.simultaneous_replay(trace)
+            verdict = LossTrendCorrelation().detect(
+                result.measurements_1, result.measurements_2
+            )
+            detections[flavour] += verdict.common_bottleneck
+    return detections
+
+
+def test_ablations(benchmark):
+    density, per_flow, bbr = benchmark.pedantic(
+        lambda: (sweep_density_ablation(), per_flow_extension(), bbr_replay_comparison()),
+        rounds=1,
+        iterations=1,
+    )
+    print_header("Ablations of WeHeY design choices")
+    for name, (detected, total) in density.items():
+        print_row(f"sigma sweep = {name}", f"detected {detected}/{total}")
+    print_row(
+        "per-flow limiter, replays unmerged (limitation)",
+        f"localized {per_flow[False]}/{len(list(SEEDS))}",
+    )
+    print_row(
+        "per-flow limiter, flows merged (Section-7 remedy)",
+        f"localized {per_flow[True]}/{len(list(SEEDS))}",
+    )
+    for flavour, detected in bbr.items():
+        print_row(f"replay congestion control = {flavour}",
+                  f"detected {detected}/{len(list(SEEDS))}")
+    # Shapes: the dense sweep must not underperform the sparse one;
+    # flow merging must rescue the per-flow case.
+    assert density["dense"][0] >= density["sparse"][0]
+    assert per_flow[True] > per_flow[False]

@@ -1,0 +1,56 @@
+"""Figure 3: BinLossTomo's loss-threshold sensitivity.
+
+Paper: with a rate limiter on the common link (average loss ~0.04,
+30 s measurement, sigma = 0.6 s), the inferred performance of l1 is
+not the expected flat 100%, and near tau = 0.04 the inferred curves of
+lc and l1 approach/cross -- binary tomography mistakenly attributes
+part of the loss to the non-common link.
+"""
+
+import numpy as np
+from conftest import print_header, print_row
+
+from repro.core.tomography import BinLossTomo
+from repro.experiments.runner import NetsimReplayService
+from repro.experiments.scenarios import ScenarioConfig
+from repro.wehe.apps import make_trace
+
+TAUS = (0.005, 0.01, 0.02, 0.03, 0.035, 0.04, 0.045, 0.05, 0.07, 0.1)
+SIGMA = 0.6
+
+
+def run_fig3():
+    config = ScenarioConfig(
+        app="netflix",
+        limiter="common",
+        input_rate_factor=1.5,
+        duration=30.0,
+        seed=8,
+    )
+    service = NetsimReplayService(config)
+    trace = make_trace("netflix", config.duration, service._trace_rng)
+    result = service.simultaneous_replay(trace)
+    m1, m2 = result.measurements_1, result.measurements_2
+    curves = []
+    for tau in TAUS:
+        inferred = BinLossTomo(SIGMA, tau).infer(m1, m2)
+        curves.append((tau, inferred.x_c, inferred.x_1, inferred.x_2))
+    return curves, m1.loss_rate, m2.loss_rate
+
+
+def test_fig3_threshold_sensitivity(benchmark):
+    curves, loss_1, loss_2 = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    print_header("Figure 3: BinLossTomo inferred performance vs loss threshold")
+    print_row("path loss rates (limiter on lc only)", f"{loss_1:.3f} / {loss_2:.3f}")
+    print(f"  {'tau':>8} {'x_c':>8} {'x_1':>8} {'x_2':>8}")
+    for tau, x_c, x_1, x_2 in curves:
+        print(f"  {tau:>8.3f} {x_c:>8.2f} {x_1:>8.2f} {x_2:>8.2f}")
+    x_c = np.array([c[1] for c in curves])
+    x_1 = np.array([c[2] for c in curves])
+    # The paper's failure signature: if tomography were right, x_1
+    # would sit at 1.0 for every threshold (l1 loses nothing).  Instead
+    # there are thresholds where the gap closes or inverts.
+    gaps = x_1 - x_c
+    print_row("min / max gap x_1 - x_c", f"{gaps.min():.2f} / {gaps.max():.2f}")
+    assert gaps.min() < 0.25, "expected near-crossing of the inferred curves"
+    assert (x_1 < 0.97).any(), "x_1 should be (wrongly) blamed at some threshold"

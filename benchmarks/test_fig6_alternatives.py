@@ -1,0 +1,84 @@
+"""Figure 6: false-negative rate of alternative designs.
+
+Paper: replacing loss-trend correlation with the best classic-
+tomography algorithm (BinLossTomoNoParams) raises TCP FN by 66-82%,
+and replaying unmodified traces raises it further by 3-11%; for UDP,
+tomography does better than with TCP but still yields non-zero FN
+while WeHeY's design stays at 0.
+"""
+
+from conftest import print_header, print_row
+
+from repro.core.loss_correlation import LossTrendCorrelation
+from repro.core.tomography import BinLossTomoNoParams
+from repro.experiments.metrics import RateCounter
+from repro.experiments.runner import run_detection_experiment
+from repro.experiments.scenarios import ScenarioConfig
+
+SEEDS = range(3)
+FACTORS = (1.5, 2.0)
+APPS = ("netflix", "zoom", "skype")
+
+DETECTORS = {
+    "loss_trend": LossTrendCorrelation(),
+    "tomography": BinLossTomoNoParams(rtt_multiples=(10, 20, 30, 40, 50)),
+}
+
+
+def run_fig6():
+    results = {}
+    for app in APPS:
+        for modified in (True, False):
+            counters = {name: RateCounter() for name in DETECTORS}
+            for factor in FACTORS:
+                for seed in SEEDS:
+                    config = ScenarioConfig(
+                        app=app,
+                        limiter="common",
+                        input_rate_factor=factor,
+                        duration=45.0,
+                        seed=seed,
+                    )
+                    record = run_detection_experiment(
+                        config, detectors=DETECTORS, modified=modified
+                    )
+                    if not record.differentiation_visible:
+                        continue
+                    for name in DETECTORS:
+                        counters[name].record(True, record.verdict(name))
+            results[(app, modified)] = counters
+    return results
+
+
+def test_fig6_alternative_designs(benchmark):
+    results = benchmark.pedantic(run_fig6, rounds=1, iterations=1)
+    print_header("Figure 6: FN of alternative designs (per app, modified?)")
+    for (app, modified), counters in sorted(results.items()):
+        tag = "modified " if modified else "unmodified"
+        print_row(
+            f"{app:<10} {tag}",
+            "  ".join(
+                f"{name}: {c.false_negatives}/{c.positives}"
+                for name, c in counters.items()
+            ),
+        )
+    # Aggregate shape: WeHeY's design (loss trend on modified traces)
+    # must beat classic tomography overall.
+    wehey_fn = sum(
+        counters["loss_trend"].false_negatives
+        for (app, modified), counters in results.items()
+        if modified
+    )
+    wehey_n = sum(
+        counters["loss_trend"].positives
+        for (app, modified), counters in results.items()
+        if modified
+    )
+    tomo_fn = sum(
+        counters["tomography"].false_negatives
+        for (app, modified), counters in results.items()
+        if modified
+    )
+    assert wehey_n > 0
+    assert wehey_fn <= tomo_fn, "loss-trend correlation must not lose to tomography"
+    assert wehey_fn / wehey_n < 0.5

@@ -1,0 +1,59 @@
+"""Table 1: localization success rate against five wild ISPs.
+
+Paper: ISP1 89.8%, ISP2 89.83%, ISP3 94%, ISP4 98.18%, ISP5 16.28% --
+the throughput-comparison algorithm localizes per-client throttling for
+four ISPs and fails against ISP5's delayed-trigger policy.  The paper's
+sanity-check tests (a third concurrent replay) yielded exactly one
+false detection; ours should likewise almost never detect.
+"""
+
+from conftest import print_header, print_row
+
+from repro.experiments.wild import WILD_ISPS, run_wild_test
+
+SEEDS_PER_ISP = 6
+SANITY_SEEDS = 3
+APPS = ("netflix", "youtube")
+
+
+def run_table1(tdiff):
+    rates = {}
+    for isp_name in WILD_ISPS:
+        localized = 0
+        total = 0
+        for seed in range(SEEDS_PER_ISP):
+            app = APPS[seed % len(APPS)]
+            report = run_wild_test(isp_name, app=app, seed=seed, tdiff=tdiff)
+            localized += report.localized
+            total += 1
+        rates[isp_name] = localized / total
+    sanity_detections = 0
+    for seed in range(SANITY_SEEDS):
+        report = run_wild_test(
+            "ISP1", app="netflix", seed=100 + seed, sanity_check=True, tdiff=tdiff
+        )
+        sanity_detections += report.localized
+    return rates, sanity_detections
+
+
+def test_table1_wild_localization(benchmark, tdiff):
+    rates, sanity = benchmark.pedantic(
+        run_table1, args=(tdiff,), rounds=1, iterations=1
+    )
+    print_header(
+        "Table 1: successful localization rate in five (modelled) ISPs"
+    )
+    paper = {"ISP1": 0.898, "ISP2": 0.8983, "ISP3": 0.94, "ISP4": 0.9818,
+             "ISP5": 0.1628}
+    for isp_name, rate in rates.items():
+        print_row(
+            f"{isp_name} (paper {paper[isp_name]:.0%})",
+            f"{rate:.0%}  ({SEEDS_PER_ISP} tests)",
+        )
+    print_row("sanity-check false detections", f"{sanity}/{SANITY_SEEDS}")
+    # Shape assertions: ISPs 1-4 localize most of the time; the
+    # delayed-trigger ISP5 rarely does; sanity checks almost never.
+    for isp_name in ("ISP1", "ISP2", "ISP3", "ISP4"):
+        assert rates[isp_name] >= 0.5, f"{isp_name} localization collapsed"
+    assert rates["ISP5"] <= 0.5, "ISP5's delayed trigger should defeat the test"
+    assert sanity <= 1

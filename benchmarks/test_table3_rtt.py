@@ -1,0 +1,58 @@
+"""Table 3: false-negative rate as the second path's RTT grows.
+
+Paper: RTT_1 = 35 ms fixed; RTT_2 in {15, 25, 35, 60, 120} ms.  FN is
+stable until RTT_2 = 120 ms, where it jumps to 50% (TCP) and 21.33%
+(UDP) -- larger RTTs mean larger interval sizes, hence fewer intervals
+per experiment and an often-inconclusive Spearman test.
+"""
+
+from conftest import print_header, print_row
+
+from repro.experiments.metrics import RateCounter
+from repro.experiments.runner import run_detection_experiment
+from repro.experiments.scenarios import ScenarioConfig
+
+RTT2_VALUES = (0.015, 0.035, 0.060, 0.120)
+SEEDS = range(3)
+APPS = ("netflix", "zoom")
+
+
+def run_table3():
+    table = {}
+    for app in APPS:
+        for rtt_2 in RTT2_VALUES:
+            counter = RateCounter()
+            for seed in SEEDS:
+                config = ScenarioConfig(
+                    app=app,
+                    limiter="common",
+                    rtt_1=0.035,
+                    rtt_2=rtt_2,
+                    duration=45.0,
+                    seed=50 + seed,
+                )
+                record = run_detection_experiment(config)
+                if not record.differentiation_visible:
+                    continue
+                counter.record(True, record.verdicts["loss_trend"])
+            table[(app, rtt_2)] = counter
+    return table
+
+
+def test_table3_rtt_sweep(benchmark):
+    table = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    print_header("Table 3: FN vs RTT_2 (paper: stable until 120 ms)")
+    for (app, rtt_2), counter in sorted(table.items()):
+        print_row(f"{app:<10} RTT2={rtt_2*1e3:>5.0f} ms",
+                  f"FN {counter.false_negatives}/{counter.positives}")
+    # Shape: moderate RTTs should not be catastrophically worse than
+    # the 35 ms baseline; the 120 ms cells may degrade (paper: they do).
+    for app in APPS:
+        moderate_fn = sum(
+            table[(app, rtt)].false_negatives for rtt in (0.015, 0.035, 0.060)
+        )
+        moderate_n = sum(
+            table[(app, rtt)].positives for rtt in (0.015, 0.035, 0.060)
+        )
+        assert moderate_n > 0
+        assert moderate_fn / moderate_n <= 0.5

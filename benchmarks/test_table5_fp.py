@@ -1,0 +1,56 @@
+"""Table 5: false positives under identical rate limiters.
+
+Paper: with independent but *identically configured* rate limiters on
+l1 and l2 (the most adversarial imaginable FP scenario), the
+loss-trend correlation algorithm stays at or below the 5% target
+(TCP 1.13%, UDP apps 1.67-3.75%).
+"""
+
+from conftest import print_header, print_row
+
+from repro.experiments.metrics import RateCounter
+from repro.experiments.runner import run_detection_experiment
+from repro.experiments.scenarios import ScenarioConfig
+
+SEEDS = range(4)
+FACTORS = (1.5, 2.0)
+APPS = ("netflix", "zoom", "skype", "msteams")
+
+
+def run_table5():
+    table = {}
+    for app in APPS:
+        counter = RateCounter()
+        for factor in FACTORS:
+            for seed in SEEDS:
+                config = ScenarioConfig(
+                    app=app,
+                    limiter="noncommon",
+                    input_rate_factor=factor,
+                    duration=45.0,
+                    seed=70 + seed,
+                )
+                record = run_detection_experiment(config)
+                counter.record(False, record.verdicts["loss_trend"])
+        table[app] = counter
+    return table
+
+
+def test_table5_false_positives(benchmark):
+    table = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    print_header(
+        "Table 5: FP under identical limiters on l1/l2 (target 5%, paper 1-4%)"
+    )
+    total_fp = 0
+    total_n = 0
+    for app, counter in table.items():
+        print_row(app, f"FP {counter.false_positives}/{counter.negatives}")
+        total_fp += counter.false_positives
+        total_n += counter.negatives
+    rate = total_fp / total_n
+    print_row("overall FP rate", f"{rate:.1%} (target 5%)")
+    # One-sided binomial bound: with n = 32 and a true FP rate at the
+    # 5% target, P(X >= 5) ~= 0.02 < 0.05 while P(X >= 4) ~= 0.07, so
+    # only 5+ detections are statistically inconsistent with the
+    # target.  (EXPERIMENTS.md discusses the measured rate.)
+    assert total_fp <= 4, f"FP {total_fp}/{total_n} inconsistent with 5% target"

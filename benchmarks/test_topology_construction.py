@@ -1,0 +1,49 @@
+"""Section 3.3's coverage statistics.
+
+Paper: over one month of WeHe-triggered M-Lab traceroutes, 52% of
+clients had at least one complete traceroute, and 74% of those had at
+least one suitable topology.  We reproduce the pipeline over the
+synthetic internet, with ICMP blocking and aliasing rates tuned to the
+same regime.
+"""
+
+import numpy as np
+from conftest import print_header, print_row
+
+from repro.mlab.annotations import AnnotationDatabase
+from repro.mlab.internet import SyntheticInternet
+from repro.mlab.topology_construction import TopologyConstructor
+from repro.mlab.traceroute import collect_month
+
+
+def run_tc():
+    rng = np.random.default_rng(77)
+    internet = SyntheticInternet(
+        rng,
+        n_sites=5,
+        servers_per_site=2,
+        n_isps=12,
+        clients_per_isp=8,
+        icmp_block_fraction=0.35,
+        alias_fraction=0.25,
+    )
+    annotations = AnnotationDatabase(internet, rng=rng, miss_rate=0.02)
+    records = collect_month(internet, rng)
+    tc = TopologyConstructor(annotations)
+    stats = tc.coverage(records)
+    database = tc.build(records)
+    return stats, len(database), len(records)
+
+
+def test_topology_construction_coverage(benchmark):
+    stats, db_size, n_records = benchmark.pedantic(run_tc, rounds=1, iterations=1)
+    print_header("Section 3.3: topology-construction coverage")
+    print_row("traceroute records ingested", n_records)
+    print_row("clients with complete traceroutes (paper 52%)",
+              f"{stats['complete_fraction']:.0%}")
+    print_row("of those, clients with a suitable topology (paper 74%)",
+              f"{stats['suitable_fraction']:.0%}")
+    print_row("topology-database entries", db_size)
+    assert 0.2 < stats["complete_fraction"] < 0.95
+    assert stats["suitable_fraction"] > 0.4
+    assert db_size > 0

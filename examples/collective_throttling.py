@@ -1,0 +1,75 @@
+"""Collective throttling and the loss-trend correlation algorithm.
+
+A collective policer throttles all traffic of a service (the WeHe
+original replays plus same-service background).  The aggregate
+simultaneous throughput no longer matches the single replay, so the
+throughput comparison stays silent; Algorithm 1 instead correlates the
+two paths' loss-rate time series across interval sizes from 10 to 50
+RTTs.  The example prints the per-interval-size Spearman verdicts and
+compares against the classic-tomography baselines the paper evolved
+away from (Section 4.3).
+
+Run:  python examples/collective_throttling.py
+"""
+
+from repro.core.loss_correlation import LossTrendCorrelation
+from repro.core.packet_pair import PacketPairCorrelation
+from repro.core.tomography import BinLossTomoNoParams, TrendLossTomo
+from repro.experiments.runner import NetsimReplayService
+from repro.experiments.scenarios import ScenarioConfig
+from repro.wehe.apps import make_trace
+
+
+def run_case(title, limiter, seed):
+    print(f"\n--- {title}")
+    config = ScenarioConfig(app="zoom", limiter=limiter, seed=seed)
+    service = NetsimReplayService(config)
+    trace = make_trace(config.app, config.duration, service._trace_rng)
+    result = service.simultaneous_replay(trace)
+    m1, m2 = result.measurements_1, result.measurements_2
+    print(f"path loss rates: {m1.loss_rate:.3f} / {m2.loss_rate:.3f}")
+
+    algorithm = LossTrendCorrelation()
+    verdict = algorithm.detect(m1, m2)
+    shown = verdict.per_interval[:: max(len(verdict.per_interval) // 8, 1)]
+    for entry in shown:
+        mark = "corr" if entry.correlated else "  --"
+        print(
+            f"  sigma={entry.interval:5.2f}s  n={entry.n_intervals:3d}  "
+            f"rho={entry.rho:+.2f}  p={entry.pvalue:7.4f}  {mark}"
+        )
+    print(f"Algorithm 1: correlated at {verdict.n_correlated}/"
+          f"{verdict.n_intervals_tested} sizes -> "
+          f"common bottleneck = {verdict.common_bottleneck}")
+
+    baselines = {
+        "BinLossTomoNoParams (Alg. 4)": BinLossTomoNoParams(
+            rtt_multiples=(10, 20, 30, 40, 50)
+        ),
+        "TrendLossTomo (V2)": TrendLossTomo(),
+        "packet-pair correlation": PacketPairCorrelation(),
+    }
+    for name, detector in baselines.items():
+        print(f"{name}: {detector.detect(m1, m2)}")
+    return verdict
+
+
+def main():
+    # Ground truth: the limiter IS on the common link sequence.
+    detected = run_case(
+        "collective limiter on the common link (expected: detect)",
+        "common",
+        seed=3,
+    )
+    assert detected.common_bottleneck
+
+    # Ground truth: two independent, identically configured limiters.
+    run_case(
+        "identical limiters on the non-common links (expected: no detect)",
+        "noncommon",
+        seed=3,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Reproduction of "Localizing Traffic Differentiation" (WeHeY, IMC 2023).
+
+The package is organized as:
+
+- :mod:`repro.netsim` -- packet-level discrete-event network simulator
+  (links, drop-tail queues, token-bucket rate limiters, TCP, UDP,
+  background traffic).  Substitute for the paper's ns-3 / tc testbed.
+- :mod:`repro.wehe` -- the WeHe substrate: application traces,
+  bit-inversion, replay engine, KS-based differentiation detection, and
+  server-side loss measurement.
+- :mod:`repro.mlab` -- the M-Lab substrate: a synthetic internet,
+  scamper-like traceroutes, annotation databases, and the
+  topology-construction (TC) module of the paper's Section 3.3.
+- :mod:`repro.stats` -- from-scratch statistics (ECDF, KS, Mann-Whitney U,
+  Spearman, Monte-Carlo subsampling) used by the detection algorithms.
+- :mod:`repro.core` -- WeHeY itself: throughput comparison (Section 4.1),
+  loss-trend correlation (Algorithm 1), the tomography baselines
+  (Algorithms 2-4), and the end-to-end localizer.
+- :mod:`repro.experiments` -- the evaluation harness reproducing every
+  table and figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

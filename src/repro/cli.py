@@ -1,0 +1,158 @@
+"""Command-line interface.
+
+Three subcommands mirror how the system is used:
+
+- ``localize`` -- run one end-to-end WeHeY test on a simulated scenario
+  and print the localization report;
+- ``topology`` -- build a synthetic internet, run topology construction,
+  and print the coverage statistics;
+- ``sweep`` -- run an FN or FP sweep over seeds for a scenario cell.
+
+Examples::
+
+    python -m repro.cli localize --app netflix --limiter common
+    python -m repro.cli localize --app zoom --limiter perflow --merge-flows
+    python -m repro.cli topology --isps 8 --clients 6
+    python -m repro.cli sweep --limiter noncommon --seeds 5
+"""
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.localizer import WeHeYLocalizer
+from repro.core.loss_correlation import LossTrendCorrelation
+from repro.experiments.runner import NetsimReplayService, run_detection_experiment
+from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.wild import default_tdiff
+from repro.wehe.apps import APP_SPECS, make_trace
+from repro.wehe.traces import bit_invert
+
+
+def _add_scenario_arguments(parser):
+    parser.add_argument(
+        "--app", default="netflix", choices=sorted(APP_SPECS),
+        help="replayed application",
+    )
+    parser.add_argument(
+        "--limiter", default="common",
+        choices=["common", "noncommon", "perflow", "none"],
+        help="rate-limiter placement (ground truth)",
+    )
+    parser.add_argument("--factor", type=float, default=1.5,
+                        help="input-rate factor (Table 2)")
+    parser.add_argument("--queue", type=float, default=0.5,
+                        help="TBF queue as a multiple of the burst")
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="replay duration in seconds")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _scenario_from(args):
+    return ScenarioConfig(
+        app=args.app,
+        limiter=None if args.limiter == "none" else args.limiter,
+        input_rate_factor=args.factor,
+        queue_factor=args.queue,
+        duration=args.duration,
+        seed=args.seed,
+    )
+
+
+def cmd_localize(args):
+    config = _scenario_from(args)
+    service = NetsimReplayService(config, merge_flows=args.merge_flows)
+    trace = make_trace(config.app, config.duration, service._trace_rng)
+    localizer = WeHeYLocalizer(np.random.default_rng(args.seed), default_tdiff())
+    report = localizer.localize(service, trace, bit_invert(trace))
+    print(f"outcome   : {report.outcome.value}")
+    print(f"mechanism : {report.mechanism.value}")
+    print(f"reason    : {report.reason}")
+    if report.throughput_result is not None:
+        tr = report.throughput_result
+        print(f"X / Y     : {tr.x_mean_bps/1e6:.2f} / {tr.y_mean_bps/1e6:.2f} Mb/s "
+              f"(MWU p = {tr.pvalue:.3g})")
+    if report.loss_result is not None:
+        lr = report.loss_result
+        print(f"loss corr : {lr.n_correlated}/{lr.n_intervals_tested} interval sizes")
+    return 0 if report.localized else 1
+
+
+def cmd_topology(args):
+    from repro.mlab.annotations import AnnotationDatabase
+    from repro.mlab.internet import SyntheticInternet
+    from repro.mlab.topology_construction import TopologyConstructor
+    from repro.mlab.traceroute import collect_month
+
+    rng = np.random.default_rng(args.seed)
+    internet = SyntheticInternet(
+        rng, n_isps=args.isps, clients_per_isp=args.clients
+    )
+    tc = TopologyConstructor(AnnotationDatabase(internet))
+    records = collect_month(internet, rng)
+    stats = tc.coverage(records)
+    database = tc.build(records)
+    print(f"traceroutes           : {len(records)}")
+    print(f"complete fraction     : {stats['complete_fraction']:.0%}")
+    print(f"suitable fraction     : {stats['suitable_fraction']:.0%}")
+    print(f"topology-db entries   : {len(database)}")
+    return 0
+
+
+def cmd_sweep(args):
+    detector = {"loss_trend": LossTrendCorrelation()}
+    common_exists = args.limiter in ("common", "perflow")
+    bad = 0
+    for seed in range(args.seeds):
+        config = _scenario_from(args).with_(seed=seed)
+        record = run_detection_experiment(config, detectors=detector)
+        detected = record.verdicts["loss_trend"]
+        wrong = (not detected) if common_exists else detected
+        bad += wrong
+        kind = ("FN" if common_exists else "FP") if wrong else "ok"
+        print(f"seed={seed} detected={detected} loss="
+              f"{record.loss_rate_1:.3f}/{record.loss_rate_2:.3f} [{kind}]")
+    label = "FN" if common_exists else "FP"
+    print(f"{label} rate: {bad}/{args.seeds}")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="WeHeY reproduction command line"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    localize = subparsers.add_parser(
+        "localize", help="run one end-to-end localization test"
+    )
+    _add_scenario_arguments(localize)
+    localize.add_argument(
+        "--merge-flows", action="store_true",
+        help="apply the Section-7 flow-merging countermeasure",
+    )
+    localize.set_defaults(func=cmd_localize)
+
+    topology = subparsers.add_parser(
+        "topology", help="run topology construction on a synthetic internet"
+    )
+    topology.add_argument("--isps", type=int, default=8)
+    topology.add_argument("--clients", type=int, default=6)
+    topology.add_argument("--seed", type=int, default=0)
+    topology.set_defaults(func=cmd_topology)
+
+    sweep = subparsers.add_parser("sweep", help="run an FN/FP seed sweep")
+    _add_scenario_arguments(sweep)
+    sweep.add_argument("--seeds", type=int, default=5)
+    sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

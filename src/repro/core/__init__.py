@@ -1,0 +1,47 @@
+"""WeHeY's core: common-bottleneck detection and the localization pipeline.
+
+- :mod:`~repro.core.throughput_comparison` -- Section 4.1's O_diff /
+  T_diff Mann-Whitney test (detects per-client throttling);
+- :mod:`~repro.core.loss_correlation` -- Algorithm 1, the Spearman
+  loss-trend correlation over multiple interval sizes (detects
+  collective throttling);
+- :mod:`~repro.core.tomography` -- the classic-tomography baselines the
+  paper evolved away from: BinLossTomo (Alg. 2), BinLossTomo++
+  (Alg. 3), BinLossTomoNoParams (Alg. 4) and the V2 trend-tomography
+  intermediate (Section 4.3);
+- :mod:`~repro.core.packet_pair` -- the Rubenstein/Kurose/Towsley-style
+  packet-level correlation baseline (Section 8);
+- :mod:`~repro.core.localizer` -- the four-operation WeHeY pipeline of
+  Section 3.1.
+"""
+
+from repro.core.localizer import (
+    LocalizationOutcome,
+    LocalizationReport,
+    WeHeYLocalizer,
+)
+from repro.core.loss_correlation import LossCorrelationResult, LossTrendCorrelation
+from repro.core.throughput_comparison import (
+    ThroughputComparison,
+    ThroughputComparisonResult,
+)
+from repro.core.tomography import (
+    BinLossTomo,
+    BinLossTomoNoParams,
+    BinLossTomoPlusPlus,
+    TrendLossTomo,
+)
+
+__all__ = [
+    "LocalizationOutcome",
+    "LocalizationReport",
+    "WeHeYLocalizer",
+    "LossTrendCorrelation",
+    "LossCorrelationResult",
+    "ThroughputComparison",
+    "ThroughputComparisonResult",
+    "BinLossTomo",
+    "BinLossTomoPlusPlus",
+    "BinLossTomoNoParams",
+    "TrendLossTomo",
+]

@@ -1,0 +1,130 @@
+"""End-to-end test coordination -- the full Section-3.4 flow.
+
+When WeHe detects differentiation for a client and the user opts in,
+the system must:
+
+1. query the topology database for a server pair whose paths converge
+   inside the client's ISP (no pair -> WeHeY cannot run);
+2. derive the measurement topology (the two paths' RTTs come from the
+   traceroute data);
+3. run the simultaneous replays and the localizer;
+4. re-verify the topology afterwards; if routes changed and the pair
+   is no longer suitable, the measurements are *discarded* and the
+   database entry invalidated (Section 3.4, step 4).
+
+``WeHeYCoordinator`` glues the M-Lab substrate (topology database +
+verifier) to the simulator-backed replay service and the localizer.
+"""
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.localizer import WeHeYLocalizer
+from repro.experiments.runner import NetsimReplayService
+from repro.wehe.apps import make_trace
+from repro.wehe.traces import bit_invert
+
+
+class CoordinationStatus(enum.Enum):
+    """What happened to one coordinated WeHeY test."""
+
+    COMPLETED = "completed"
+    NO_TOPOLOGY = "no-suitable-topology"
+    DISCARDED_TOPOLOGY_CHANGED = "discarded-topology-changed"
+
+
+@dataclass(frozen=True)
+class CoordinatedReport:
+    """Outcome of a coordinated test."""
+
+    status: CoordinationStatus
+    client_name: str
+    server_pair: tuple = None
+    localization: object = None  # LocalizationReport when COMPLETED
+
+    @property
+    def localized(self):
+        return (
+            self.status is CoordinationStatus.COMPLETED
+            and self.localization.localized
+        )
+
+
+def rtts_from_traceroutes(internet, rng, server_pair, client):
+    """Estimate the two path RTTs from fresh traceroute measurements.
+
+    The last hop's RTT approximates the one-way forward delay; the
+    paper's client uses such measurements when configuring the replay.
+    """
+    from repro.mlab.traceroute import run_traceroute
+
+    servers = {s.name: s for s in internet.servers}
+    rtts = []
+    for name in server_pair:
+        record = run_traceroute(internet, servers[name], client, rng)
+        if record.hops:
+            rtts.append(max(2.0 * record.hops[-1].rtt_ms / 1e3, 0.01))
+        else:
+            rtts.append(0.035)
+    return tuple(rtts)
+
+
+class WeHeYCoordinator:
+    """Runs coordinated WeHeY tests against a ground-truth scenario.
+
+    Parameters:
+        internet: the synthetic internet (routes, servers, clients).
+        database: a TC :class:`~repro.mlab.topology_construction.TopologyDatabase`.
+        verifier: a :class:`~repro.mlab.verification.TopologyVerifier`.
+        scenario: the ground-truth :class:`ScenarioConfig` describing
+            the client ISP's differentiation behaviour (limiter
+            placement, severity); RTTs are overridden per server pair.
+        rng: numpy Generator.
+        tdiff: T_diff samples for the throughput comparison.
+    """
+
+    def __init__(self, internet, database, verifier, scenario, rng, tdiff):
+        self.internet = internet
+        self.database = database
+        self.verifier = verifier
+        self.scenario = scenario
+        self.rng = rng
+        self.tdiff = tdiff
+
+    def run_test(self, client_name, app="netflix"):
+        """One full WeHeY invocation for ``client_name``."""
+        client = self.internet.find_client(client_name)
+        entries = self.database.lookup(client.ip, client.asn)
+        if not entries:
+            return CoordinatedReport(
+                status=CoordinationStatus.NO_TOPOLOGY, client_name=client_name
+            )
+        entry = entries[0]
+
+        rtt_1, rtt_2 = rtts_from_traceroutes(
+            self.internet, self.rng, entry.server_pair, client
+        )
+        config = self.scenario.with_(
+            rtt_1=max(rtt_1, 0.01), rtt_2=max(rtt_2, 0.01)
+        )
+        service = NetsimReplayService(
+            config, entropy=abs(hash(client_name)) % (2**31)
+        )
+        trace = make_trace(app, config.duration, service._trace_rng)
+        localizer = WeHeYLocalizer(self.rng, self.tdiff)
+        report = localizer.localize(service, trace, bit_invert(trace))
+
+        # Section 3.4, step 4: re-verify the topology after the replays.
+        if not self.verifier.verify(entry, client_name):
+            entries.remove(entry)
+            return CoordinatedReport(
+                status=CoordinationStatus.DISCARDED_TOPOLOGY_CHANGED,
+                client_name=client_name,
+                server_pair=entry.server_pair,
+            )
+        return CoordinatedReport(
+            status=CoordinationStatus.COMPLETED,
+            client_name=client_name,
+            server_pair=entry.server_pair,
+            localization=report,
+        )

@@ -1,0 +1,181 @@
+"""The WeHeY pipeline (Section 3.1).
+
+When invoked on a client for which WeHe already detected
+differentiation on a path ``p0``, WeHeY performs four operations:
+
+1. **Topology construction** -- pick two servers whose paths to the
+   client converge exactly once, inside the client's ISP (done ahead of
+   time by :mod:`repro.mlab.topology_construction`; the localizer takes
+   the chosen topology as given, or queries a topology database).
+2. **Simultaneous replays** -- replay the modified original trace on
+   p1 and p2 simultaneously, then the modified bit-inverted trace.
+3. **Differentiation confirmation** -- rerun WeHe's detector per path;
+   unless *both* paths differentiated, output "no evidence".
+4. **Common-bottleneck detection** -- first the throughput comparison
+   (per-client throttling), then the loss-trend correlation
+   (collective throttling); either firing is evidence that the
+   differentiation happened inside the target network area.
+
+The localizer is decoupled from the simulator through a *replay
+service* interface so it drives the netsim harness, the wild-ISP
+models, and unit-test fakes identically.
+"""
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.loss_correlation import LossTrendCorrelation
+from repro.core.throughput_comparison import (
+    ThroughputComparison,
+    aggregate_simultaneous_samples,
+)
+from repro.wehe.detection import detect_differentiation
+
+
+class LocalizationOutcome(enum.Enum):
+    """WeHeY's two possible outputs (Section 1)."""
+
+    EVIDENCE_IN_TARGET_AREA = "evidence-in-target-area"
+    NO_EVIDENCE = "no-evidence"
+
+
+class Mechanism(enum.Enum):
+    """Which detector produced the evidence."""
+
+    PER_CLIENT_THROTTLING = "per-client"
+    COLLECTIVE_THROTTLING = "collective"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class LocalizationReport:
+    """Everything WeHeY concluded about one test."""
+
+    outcome: LocalizationOutcome
+    mechanism: Mechanism
+    reason: str
+    confirmation_1: object = None
+    confirmation_2: object = None
+    throughput_result: object = None
+    loss_result: object = None
+
+    @property
+    def localized(self):
+        return self.outcome is LocalizationOutcome.EVIDENCE_IN_TARGET_AREA
+
+
+class SimultaneousReplayResult:
+    """What a replay service returns for one simultaneous replay.
+
+    Attributes per path (1 and 2): throughput sample arrays and
+    :class:`~repro.netsim.capture.PathMeasurements`.
+    """
+
+    def __init__(self, samples_1, samples_2, measurements_1, measurements_2):
+        self.samples_1 = samples_1
+        self.samples_2 = samples_2
+        self.measurements_1 = measurements_1
+        self.measurements_2 = measurements_2
+
+
+class WeHeYLocalizer:
+    """Operations (3) and (4) of the pipeline over a replay service.
+
+    The service must provide:
+
+    - ``single_replay(trace)`` -> throughput samples along p0;
+    - ``simultaneous_replay(trace)`` ->
+      :class:`SimultaneousReplayResult`.
+
+    Parameters:
+        rng: numpy Generator (Monte-Carlo subsampling).
+        tdiff: the T_diff sample set (see
+            :func:`repro.wehe.corpus.tdiff_distribution`).
+        fp_rate: Algorithm 1's acceptable false-positive rate.
+        alpha: significance level for the WeHe confirmation and the
+            throughput comparison.
+        skip_throughput_comparison / skip_loss_correlation: disable one
+            detector (used by the evaluation to study them separately).
+    """
+
+    def __init__(
+        self,
+        rng,
+        tdiff,
+        fp_rate=0.05,
+        alpha=0.05,
+        skip_throughput_comparison=False,
+        skip_loss_correlation=False,
+    ):
+        self.rng = rng
+        self.tdiff = tdiff
+        self.alpha = alpha
+        self.throughput_comparison = ThroughputComparison(rng, alpha=alpha)
+        self.loss_correlation = LossTrendCorrelation(fp_rate=fp_rate)
+        self.skip_throughput_comparison = skip_throughput_comparison
+        self.skip_loss_correlation = skip_loss_correlation
+
+    def localize(self, service, original_trace, inverted_trace):
+        """Run operations 2-4 and produce a :class:`LocalizationReport`."""
+        x_samples = service.single_replay(original_trace)
+        original_sim = service.simultaneous_replay(original_trace)
+        inverted_sim = service.simultaneous_replay(inverted_trace)
+
+        confirmation_1 = detect_differentiation(
+            original_sim.samples_1, inverted_sim.samples_1, alpha=self.alpha
+        )
+        confirmation_2 = detect_differentiation(
+            original_sim.samples_2, inverted_sim.samples_2, alpha=self.alpha
+        )
+        if not (confirmation_1.differentiated and confirmation_2.differentiated):
+            return LocalizationReport(
+                outcome=LocalizationOutcome.NO_EVIDENCE,
+                mechanism=Mechanism.NONE,
+                reason="differentiation not confirmed on both paths",
+                confirmation_1=confirmation_1,
+                confirmation_2=confirmation_2,
+            )
+
+        throughput_result = None
+        if not self.skip_throughput_comparison:
+            y_samples = aggregate_simultaneous_samples(
+                original_sim.samples_1, original_sim.samples_2
+            )
+            throughput_result = self.throughput_comparison.detect(
+                x_samples, y_samples, self.tdiff
+            )
+            if throughput_result.common_bottleneck:
+                return LocalizationReport(
+                    outcome=LocalizationOutcome.EVIDENCE_IN_TARGET_AREA,
+                    mechanism=Mechanism.PER_CLIENT_THROTTLING,
+                    reason="aggregate simultaneous throughput matches the single replay",
+                    confirmation_1=confirmation_1,
+                    confirmation_2=confirmation_2,
+                    throughput_result=throughput_result,
+                )
+
+        loss_result = None
+        if not self.skip_loss_correlation:
+            loss_result = self.loss_correlation.detect(
+                original_sim.measurements_1, original_sim.measurements_2
+            )
+            if loss_result.common_bottleneck:
+                return LocalizationReport(
+                    outcome=LocalizationOutcome.EVIDENCE_IN_TARGET_AREA,
+                    mechanism=Mechanism.COLLECTIVE_THROTTLING,
+                    reason="loss trends of the two paths are significantly correlated",
+                    confirmation_1=confirmation_1,
+                    confirmation_2=confirmation_2,
+                    throughput_result=throughput_result,
+                    loss_result=loss_result,
+                )
+
+        return LocalizationReport(
+            outcome=LocalizationOutcome.NO_EVIDENCE,
+            mechanism=Mechanism.NONE,
+            reason="no common bottleneck detected",
+            confirmation_1=confirmation_1,
+            confirmation_2=confirmation_2,
+            throughput_result=throughput_result,
+            loss_result=loss_result,
+        )

@@ -1,0 +1,68 @@
+"""False-negative / false-positive accounting for the evaluation."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RateCounter:
+    """Counts detector outcomes against ground truth."""
+
+    positives: int = 0  # experiments where a common bottleneck exists
+    negatives: int = 0  # experiments where none exists
+    false_negatives: int = 0
+    false_positives: int = 0
+
+    def record(self, common_bottleneck_exists, detected):
+        if common_bottleneck_exists:
+            self.positives += 1
+            if not detected:
+                self.false_negatives += 1
+        else:
+            self.negatives += 1
+            if detected:
+                self.false_positives += 1
+
+    @property
+    def fn_rate(self):
+        if self.positives == 0:
+            return 0.0
+        return self.false_negatives / self.positives
+
+    @property
+    def fp_rate(self):
+        if self.negatives == 0:
+            return 0.0
+        return self.false_positives / self.negatives
+
+    def __str__(self):
+        parts = []
+        if self.positives:
+            parts.append(
+                f"FN {self.false_negatives}/{self.positives} ({self.fn_rate:.1%})"
+            )
+        if self.negatives:
+            parts.append(
+                f"FP {self.false_positives}/{self.negatives} ({self.fp_rate:.1%})"
+            )
+        return ", ".join(parts) if parts else "no experiments"
+
+
+@dataclass
+class SweepTable:
+    """Accumulates per-cell rates for the paper's tables (3, 4, 5, ...)."""
+
+    name: str
+    cells: dict = field(default_factory=dict)
+
+    def counter(self, key):
+        return self.cells.setdefault(key, RateCounter())
+
+    def rows(self):
+        for key in sorted(self.cells):
+            yield key, self.cells[key]
+
+    def format(self):
+        lines = [f"== {self.name} =="]
+        for key, counter in self.rows():
+            lines.append(f"  {key}: {counter}")
+        return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Experiment reporting: records -> JSON and text summaries.
+
+The benchmark suite prints its tables; this module gives programmatic
+users (and the CLI) the same capability: accumulate
+:class:`~repro.experiments.runner.DetectionExperimentRecord` or
+localization reports into a serializable summary.
+"""
+
+import json
+from dataclasses import asdict, dataclass, field, is_dataclass
+
+
+@dataclass
+class ExperimentSummary:
+    """Aggregate view over a batch of detection experiments."""
+
+    name: str
+    records: list = field(default_factory=list)
+
+    def add(self, record):
+        self.records.append(record)
+
+    def __len__(self):
+        return len(self.records)
+
+    def detection_rate(self, detector="loss_trend"):
+        """Fraction of (visible) experiments where the detector fired."""
+        visible = [r for r in self.records if r.differentiation_visible]
+        if not visible:
+            return 0.0
+        return sum(r.verdicts.get(detector, False) for r in visible) / len(visible)
+
+    def mean_retx_rate(self):
+        if not self.records:
+            return 0.0
+        return sum(r.retx_rate for r in self.records) / len(self.records)
+
+    def to_dict(self):
+        """JSON-serializable representation."""
+        rows = []
+        for record in self.records:
+            config = record.config
+            rows.append(
+                {
+                    "config": asdict(config) if is_dataclass(config) else str(config),
+                    "verdicts": dict(record.verdicts),
+                    "retx_rate": record.retx_rate,
+                    "queuing_delay_s": record.queuing_delay,
+                    "loss_rate_1": record.loss_rate_1,
+                    "loss_rate_2": record.loss_rate_2,
+                    "differentiation_visible": record.differentiation_visible,
+                }
+            )
+        return {"name": self.name, "n": len(rows), "records": rows}
+
+    def to_json(self, path=None, indent=2):
+        """Serialize; writes to ``path`` when given, else returns str."""
+        text = json.dumps(self.to_dict(), indent=indent)
+        if path is not None:
+            with open(path, "w") as handle:
+                handle.write(text)
+        return text
+
+    def format_text(self):
+        """A compact human-readable summary."""
+        lines = [f"== {self.name}: {len(self.records)} experiments =="]
+        detectors = sorted(
+            {name for record in self.records for name in record.verdicts}
+        )
+        for detector in detectors:
+            lines.append(
+                f"  {detector}: detection rate "
+                f"{self.detection_rate(detector):.0%}"
+            )
+        lines.append(f"  mean retx rate: {self.mean_retx_rate():.3f}")
+        return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""Experiment scenarios -- the knobs of the paper's Table 2.
+
+A :class:`ScenarioConfig` fully determines one emulation/simulation
+experiment: the replayed application, where the rate limiter sits, how
+hard it throttles (the ``input_rate_factor``: traffic arrives at the
+limiter at 1.3x / 1.5x / 2x / 2.5x its rate), how deep its queue is
+(0.25x / 0.5x / 1x the burst), what share of the background traffic
+competes inside the limiter (25 / 50 / 75 %), the two path RTTs, and
+how congested the non-common links are (input-traffic / bandwidth of
+0.2 default, 0.95 / 1.05 / 1.15 for Table 4).
+
+Rates are scaled to simulator-friendly magnitudes; the *ratios* (which
+is what the evaluation sweeps) match the paper.
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.wehe.apps import APP_SPECS
+
+#: Paper parameter grids (Table 2); bold defaults first.
+INPUT_RATE_FACTORS = (1.5, 1.3, 2.0, 2.5)
+QUEUE_FACTORS = (0.5, 0.25, 1.0)
+BACKGROUND_SHARES = (0.5, 0.25, 0.75)
+CONGESTION_FACTORS = (0.2, 0.95, 1.05, 1.15)
+RTT2_SWEEP = (0.010, 0.015, 0.025, 0.035, 0.060, 0.120)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One experiment's parameters (defaults = Table 2 bold values)."""
+
+    app: str = "netflix"
+    limiter: str = "common"  # "common", "noncommon", "perflow", or None
+    input_rate_factor: float = 1.5
+    queue_factor: float = 0.5
+    background_share: float = 0.5
+    background_rate_bps: float = 20e6
+    tcp_background_flows: int = 2
+    rtt_1: float = 0.035
+    rtt_2: float = 0.035
+    congestion_factor: float = 0.2
+    duration: float = 60.0
+    #: override the background modulation components (ablation knob);
+    #: None uses repro.netsim.background.DEFAULT_MODULATION.
+    background_modulation: tuple = None
+    seed: int = 0
+    #: extra loss-measurement noise (see RetransmissionLossEstimator)
+    overcount_rate: float = 0.0
+    registration_jitter: float = 0.0
+
+    def __post_init__(self):
+        if self.app not in APP_SPECS:
+            raise ValueError(f"unknown app {self.app!r}")
+        if self.limiter not in (None, "common", "noncommon", "perflow"):
+            raise ValueError(f"unknown limiter placement {self.limiter!r}")
+        if self.input_rate_factor <= 1.0 and self.limiter is not None:
+            raise ValueError("input_rate_factor must exceed 1 for throttling to bite")
+        if not 0.0 <= self.background_share <= 1.0:
+            raise ValueError("background_share must be in [0, 1]")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+    @property
+    def protocol(self):
+        return APP_SPECS[self.app].protocol
+
+    @property
+    def replay_rate_bps(self):
+        """Nominal offered rate of one original replay."""
+        return APP_SPECS[self.app].rate_bps
+
+    @property
+    def limiter_rate_bps(self):
+        """Throttling rate such that the simultaneous replay plus the
+        throttled background share arrives at ``input_rate_factor`` times
+        the rate (Section 6.2's load definition)."""
+        offered = (
+            2.0 * self.replay_rate_bps
+            + self.background_share * self.background_rate_bps
+        )
+        if self.limiter == "noncommon":
+            # Each of the two limiters sees one replay and half of the
+            # background aggregate.
+            offered = (
+                self.replay_rate_bps
+                + self.background_share * self.background_rate_bps / 2.0
+            )
+        elif self.limiter == "perflow":
+            # Per-flow policers: each flow is individually held below
+            # its own offered rate.
+            offered = self.replay_rate_bps
+        return offered / self.input_rate_factor
+
+    @property
+    def noncommon_bandwidth_bps(self):
+        """Link bandwidth of l1/l2 given the Table-2 congestion factor."""
+        input_rate = self.replay_rate_bps + self.background_rate_bps / 2.0
+        return input_rate / self.congestion_factor
+
+    def with_(self, **changes):
+        """Functional update (convenience for sweeps)."""
+        return replace(self, **changes)
+
+
+def severity_grid(app, seeds, factors=INPUT_RATE_FACTORS, queues=QUEUE_FACTORS):
+    """The Section-6.2 grid: rate factor x queue factor x seeds."""
+    for factor in factors:
+        for queue in queues:
+            for seed in seeds:
+                yield ScenarioConfig(
+                    app=app,
+                    input_rate_factor=factor,
+                    queue_factor=queue,
+                    seed=seed,
+                )

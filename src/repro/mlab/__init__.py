@@ -1,0 +1,33 @@
+"""The M-Lab measurement-platform substrate.
+
+WeHeY's topology-construction module (Section 3.3) ingests M-Lab's
+traceroute BigQuery tables, annotated with ASN/geo data from MaxMind,
+IPinfo.io and RouteViews, and finds -- for every traceroute destination
+-- pairs of M-Lab servers whose paths to that destination converge
+exactly once, inside the destination's ISP.
+
+Offline we cannot query BigQuery, so this subpackage provides the whole
+chain as a faithful substitute:
+
+- :mod:`~repro.mlab.internet` -- a synthetic Internet: server ASes,
+  transit ASes, client ISPs with internal router hierarchies, clients;
+  including the messiness TC must filter (ICMP-blocking ISPs and IP
+  aliasing);
+- :mod:`~repro.mlab.traceroute` -- scamper-like traceroute records;
+- :mod:`~repro.mlab.annotations` -- the ASN/geo annotation databases;
+- :mod:`~repro.mlab.tables` -- a tiny joinable record store standing in
+  for the two BigQuery tables;
+- :mod:`~repro.mlab.topology_construction` -- the TC algorithm itself.
+"""
+
+from repro.mlab.internet import SyntheticInternet
+from repro.mlab.topology_construction import TopologyConstructor, TopologyDatabase
+from repro.mlab.traceroute import TracerouteRecord, run_traceroute
+
+__all__ = [
+    "SyntheticInternet",
+    "TracerouteRecord",
+    "run_traceroute",
+    "TopologyConstructor",
+    "TopologyDatabase",
+]

@@ -1,0 +1,60 @@
+"""IP annotation databases (MaxMind / IPinfo.io / RouteViews stand-in).
+
+M-Lab publishes a second BigQuery table with per-hop ASN and
+geolocation annotations; TC merges it with the traceroute table.  Here
+the database is built from the synthetic internet's ground truth, with
+an optional miss rate (real annotation databases are incomplete).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IpAnnotation:
+    """Annotation for one IP address."""
+
+    ip: str
+    asn: int
+    country: str
+
+
+class AnnotationDatabase:
+    """ASN/geo lookups for every IP in a synthetic internet."""
+
+    def __init__(self, internet, rng=None, miss_rate=0.0):
+        if miss_rate and rng is None:
+            raise ValueError("a miss rate requires an rng")
+        self._annotations = {}
+        entries = []
+        for server in internet.servers:
+            entries.append((server.ip, server.asn, "US"))
+        for routers in internet.transit_routers.values():
+            for router in routers:
+                entries.extend(
+                    (ip, router.asn, "US") for ip in router.interfaces
+                )
+        for isp in internet.isps:
+            for router in (
+                isp.borders + isp.aggregations + list(isp.last_miles.values())
+            ):
+                entries.extend(
+                    (ip, router.asn, "US") for ip in router.interfaces
+                )
+        for client in internet.clients:
+            entries.append((client.ip, client.asn, "US"))
+        for ip, asn, country in entries:
+            if miss_rate and rng.random() < miss_rate:
+                continue
+            self._annotations[ip] = IpAnnotation(ip=ip, asn=asn, country=country)
+
+    def lookup(self, ip):
+        """Annotation for ``ip``, or None when the databases miss it."""
+        return self._annotations.get(ip)
+
+    def asn(self, ip):
+        """ASN for ``ip``, or None."""
+        annotation = self._annotations.get(ip)
+        return annotation.asn if annotation else None
+
+    def __len__(self):
+        return len(self._annotations)

@@ -1,0 +1,221 @@
+"""A synthetic Internet for exercising topology construction.
+
+The model has three tiers:
+
+- *server ASes*: M-Lab hosting sites, each with a handful of servers;
+- *transit ASes*: carriers interconnecting everything;
+- *client ISPs*: access networks with an internal router hierarchy
+  (border -> aggregation -> last-mile) and attached clients.
+
+Routing is deterministic given the rng: each (server, client) pair gets
+a router-level path: server-side routers, one or two transit ASes, an
+ISP border router, an aggregation router, and the client's last-mile
+router.  Two servers reaching the same client through *different*
+borders converge at the aggregation router -- inside the ISP -- which is
+precisely the "suitable topology" Section 3.3 looks for.  Servers
+entering through the *same* transit chain share nodes outside the ISP
+and must be rejected by TC.
+
+Real-world messiness TC must survive is injected per ISP/router:
+
+- ``blocks_icmp``: the ISP drops ICMP near the client, so traceroutes
+  end before the destination (condition (a) of Section 3.3);
+- *IP aliasing*: some routers answer from a different interface IP per
+  incoming link, so consecutive traceroute links do not meet at the
+  same IP (condition (b)).
+"""
+
+from dataclasses import dataclass, field
+
+
+def _ip(a, b, c, d):
+    return f"{a}.{b}.{c}.{d}"
+
+
+@dataclass
+class Router:
+    """One router; may expose several interface IPs (aliasing)."""
+
+    name: str
+    asn: int
+    interfaces: tuple
+    aliased: bool = False
+
+    @property
+    def canonical_ip(self):
+        return self.interfaces[0]
+
+    def ip_for(self, incoming_index):
+        """Interface IP used when answering a probe arriving on a link.
+
+        Non-aliased routers always answer from their canonical IP;
+        aliased routers answer from a per-link interface, which is what
+        breaks naive IP-level node comparison.
+        """
+        if not self.aliased:
+            return self.interfaces[0]
+        return self.interfaces[incoming_index % len(self.interfaces)]
+
+
+@dataclass
+class Client:
+    """An end host inside a client ISP."""
+
+    name: str
+    ip: str
+    asn: int
+    isp: str
+
+
+@dataclass
+class Server:
+    """An M-Lab measurement server."""
+
+    name: str
+    ip: str
+    asn: int
+    site: str
+
+
+@dataclass
+class Isp:
+    """A client ISP with its internal router hierarchy."""
+
+    name: str
+    asn: int
+    borders: list = field(default_factory=list)
+    aggregations: list = field(default_factory=list)
+    last_miles: dict = field(default_factory=dict)  # client name -> Router
+    blocks_icmp: bool = False
+
+
+class SyntheticInternet:
+    """Build a routable synthetic internet.
+
+    Parameters:
+        rng: numpy Generator.
+        n_sites: M-Lab sites (each with ``servers_per_site`` servers).
+        n_transit: transit ASes.
+        n_isps: client ISPs.
+        clients_per_isp: clients attached to each ISP.
+        icmp_block_fraction: fraction of ISPs that block ICMP near the
+            client (their traceroutes are incomplete).
+        alias_fraction: fraction of aggregation/border routers that are
+            IP-aliased.
+    """
+
+    def __init__(
+        self,
+        rng,
+        n_sites=4,
+        servers_per_site=2,
+        n_transit=3,
+        n_isps=6,
+        clients_per_isp=5,
+        icmp_block_fraction=0.25,
+        alias_fraction=0.15,
+    ):
+        if n_sites < 2:
+            raise ValueError("need at least two M-Lab sites")
+        self.rng = rng
+        self.servers = []
+        self.transit_routers = {}  # asn -> [Router]
+        self.isps = []
+        self.clients = []
+        self._routes = {}  # (server name, client name) -> [Router]
+
+        # Server ASes: ASN 100+site; transit: 200+i; ISPs: 300+i.
+        for site in range(n_sites):
+            asn = 100 + site
+            for k in range(servers_per_site):
+                ip = _ip(10, site, 0, 10 + k)
+                self.servers.append(
+                    Server(f"mlab{site}-{k}", ip, asn, f"site-{site}")
+                )
+
+        for t in range(n_transit):
+            asn = 200 + t
+            routers = [
+                Router(f"tr{t}-{j}", asn, (_ip(20, t, j, 1),))
+                for j in range(3)
+            ]
+            self.transit_routers[asn] = routers
+
+        for i in range(n_isps):
+            asn = 300 + i
+            isp = Isp(
+                name=f"isp-{i}",
+                asn=asn,
+                blocks_icmp=bool(rng.random() < icmp_block_fraction),
+            )
+            for b in range(2):
+                isp.borders.append(
+                    Router(
+                        f"{isp.name}-border{b}",
+                        asn,
+                        tuple(_ip(30, i, b, 1 + k) for k in range(3)),
+                        aliased=bool(rng.random() < alias_fraction),
+                    )
+                )
+            for a in range(2):
+                isp.aggregations.append(
+                    Router(
+                        f"{isp.name}-agg{a}",
+                        asn,
+                        tuple(_ip(30, i, 10 + a, 1 + k) for k in range(3)),
+                        aliased=bool(rng.random() < alias_fraction),
+                    )
+                )
+            for c in range(clients_per_isp):
+                client = Client(
+                    f"{isp.name}-client{c}", _ip(30, i, 100 + c, 7), asn, isp.name
+                )
+                isp.last_miles[client.name] = Router(
+                    f"{isp.name}-lm{c}", asn, (_ip(30, i, 100 + c, 1),)
+                )
+                self.clients.append(client)
+            self.isps.append(isp)
+
+        self._build_routes()
+
+    def isp_of(self, client):
+        for isp in self.isps:
+            if isp.name == client.isp:
+                return isp
+        raise KeyError(client.isp)
+
+    def _build_routes(self):
+        """Assign each (server, client) pair a router-level path."""
+        rng = self.rng
+        transit_asns = sorted(self.transit_routers)
+        for client in self.clients:
+            isp = self.isp_of(client)
+            # Every client hangs off one aggregation router; servers
+            # reach it through a border chosen per server site.
+            agg = isp.aggregations[
+                int(rng.integers(0, len(isp.aggregations)))
+            ]
+            for server in self.servers:
+                transit_asn = transit_asns[
+                    (server.asn + client.asn) % len(transit_asns)
+                ]
+                transit = self.transit_routers[transit_asn]
+                border = isp.borders[server.asn % len(isp.borders)]
+                path = [
+                    transit[server.asn % len(transit)],
+                    transit[(server.asn + 1) % len(transit)],
+                    border,
+                    agg,
+                    isp.last_miles[client.name],
+                ]
+                self._routes[(server.name, client.name)] = path
+
+    def route(self, server, client):
+        """The router-level path from ``server`` to ``client``."""
+        return self._routes[(server.name, client.name)]
+
+    def find_client(self, name):
+        for client in self.clients:
+            if client.name == name:
+                return client
+        raise KeyError(name)

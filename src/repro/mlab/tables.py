@@ -1,0 +1,107 @@
+"""A tiny joinable record store standing in for M-Lab's BigQuery tables.
+
+TC's input is two tables -- scamper traceroutes and per-hop annotations
+-- that get merged on the hop IP (Section 3.3).  ``Table`` supports just
+what that pipeline needs: append, scan with a predicate, and an
+equi-join producing merged row dicts.
+"""
+
+
+class Table:
+    """An append-only table of dict rows with a fixed column set."""
+
+    def __init__(self, name, columns):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.name = name
+        self.columns = tuple(columns)
+        self._rows = []
+
+    def __len__(self):
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def insert(self, **values):
+        missing = set(self.columns) - set(values)
+        extra = set(values) - set(self.columns)
+        if missing or extra:
+            raise ValueError(
+                f"row does not match schema of {self.name!r}: "
+                f"missing={sorted(missing)} extra={sorted(extra)}"
+            )
+        self._rows.append(dict(values))
+
+    def scan(self, predicate=None):
+        """Yield rows (optionally filtered)."""
+        for row in self._rows:
+            if predicate is None or predicate(row):
+                yield row
+
+    def join(self, other, on, how="inner"):
+        """Equi-join on column ``on``; returns a list of merged dicts.
+
+        ``how="left"`` keeps unmatched left rows with ``None`` fills for
+        the right columns (annotation misses surface as None ASNs, as
+        they do in the real merged M-Lab data).
+        """
+        if how not in ("inner", "left"):
+            raise ValueError(f"unsupported join type {how!r}")
+        index = {}
+        for row in other._rows:
+            index.setdefault(row[on], []).append(row)
+        merged = []
+        right_columns = [c for c in other.columns if c != on]
+        for row in self._rows:
+            matches = index.get(row[on], [])
+            if matches:
+                for match in matches:
+                    combined = dict(row)
+                    combined.update(
+                        {c: match[c] for c in right_columns}
+                    )
+                    merged.append(combined)
+            elif how == "left":
+                combined = dict(row)
+                combined.update({c: None for c in right_columns})
+                merged.append(combined)
+        return merged
+
+
+def traceroute_table(records):
+    """Flatten traceroute records into the scamper-style hop table."""
+    table = Table(
+        "traceroutes",
+        (
+            "traceroute_id",
+            "server_name",
+            "server_ip",
+            "destination_ip",
+            "hop_index",
+            "hop_ip",
+            "rtt_ms",
+        ),
+    )
+    for traceroute_id, record in enumerate(records):
+        for hop_index, hop in enumerate(record.hops):
+            table.insert(
+                traceroute_id=traceroute_id,
+                server_name=record.server_name,
+                server_ip=record.server_ip,
+                destination_ip=record.destination_ip,
+                hop_index=hop_index,
+                hop_ip=hop.ip,
+                rtt_ms=hop.rtt_ms,
+            )
+    return table
+
+
+def annotation_table(database):
+    """The annotation side of the merge, keyed by hop IP."""
+    table = Table("annotations", ("hop_ip", "asn", "country"))
+    for annotation in database._annotations.values():
+        table.insert(
+            hop_ip=annotation.ip, asn=annotation.asn, country=annotation.country
+        )
+    return table

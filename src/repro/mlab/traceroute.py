@@ -1,0 +1,110 @@
+"""Scamper-like traceroute records over the synthetic internet.
+
+A record is a list of *links*: ``(from_ip, to_ip)`` pairs as scamper
+reports them.  Topology construction requires that two subsequent links
+meet at the same IP (Section 3.3, condition (b)); aliased routers break
+this because they answer from a different interface per incoming link.
+
+ISPs that block ICMP near the client produce truncated traceroutes
+whose last hop is still in a transit AS (condition (a) fails).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One reported hop."""
+
+    ip: str
+    rtt_ms: float
+
+
+@dataclass(frozen=True)
+class TracerouteRecord:
+    """One scamper run: server -> destination."""
+
+    server_name: str
+    server_ip: str
+    destination_ip: str
+    hops: tuple
+    links: tuple  # ((from_ip, to_ip), ...)
+    reached_destination: bool
+
+    @property
+    def last_hop_ip(self):
+        if not self.hops:
+            return None
+        return self.hops[-1].ip
+
+
+def run_traceroute(internet, server, client, rng):
+    """Run a traceroute from ``server`` to ``client``.
+
+    Returns a :class:`TracerouteRecord`.  Per-hop RTTs grow along the
+    path with jitter; they are cosmetic (TC ignores them) but keep the
+    records realistic.
+    """
+    isp = internet.isp_of(client)
+    route = internet.route(server, client)
+    hops = []
+    rtt = float(rng.uniform(2.0, 8.0))
+    truncate_at = len(route)
+    if isp.blocks_icmp:
+        # Drop the in-ISP hops: the probe dies at the ISP edge.
+        truncate_at = next(
+            (i for i, router in enumerate(route) if router.asn == isp.asn),
+            len(route),
+        )
+    # Scamper reports per-link data; an aliased router may answer with
+    # one interface IP as a link destination and another as the next
+    # link's source, so the two reported IPs are drawn independently.
+    node_ips = [(server.ip, server.ip)]
+    for router in route[:truncate_at]:
+        as_destination = router.ip_for(int(rng.integers(0, 3)))
+        as_source = router.ip_for(int(rng.integers(0, 3)))
+        node_ips.append((as_destination, as_source))
+        rtt += float(rng.uniform(1.0, 6.0))
+        hops.append(Hop(ip=as_destination, rtt_ms=rtt))
+    reached = truncate_at == len(route) and not isp.blocks_icmp
+    if reached:
+        rtt += float(rng.uniform(1.0, 4.0))
+        hops.append(Hop(ip=client.ip, rtt_ms=rtt))
+        node_ips.append((client.ip, client.ip))
+    links = tuple(
+        (node_ips[i][1], node_ips[i + 1][0]) for i in range(len(node_ips) - 1)
+    )
+    return TracerouteRecord(
+        server_name=server.name,
+        server_ip=server.ip,
+        destination_ip=client.ip,
+        hops=tuple(hops),
+        links=links,
+        reached_destination=reached,
+    )
+
+
+def collect_month(internet, rng, tests_per_client=None):
+    """Simulate a month of WeHe-triggered traceroutes.
+
+    Every client is traced from a random subset of servers (M-Lab
+    favours nearby servers, so not all vantage points appear for every
+    client -- the paper calls this out as the reason its topology counts
+    are lower bounds).
+    """
+    records = []
+    for client in internet.clients:
+        n_servers = (
+            tests_per_client
+            if tests_per_client is not None
+            else int(rng.integers(2, len(internet.servers) + 1))
+        )
+        chosen = rng.choice(
+            len(internet.servers), size=min(n_servers, len(internet.servers)),
+            replace=False,
+        )
+        for index in chosen:
+            records.append(
+                run_traceroute(internet, internet.servers[int(index)], client, rng)
+            )
+    return records

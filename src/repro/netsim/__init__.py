@@ -1,0 +1,47 @@
+"""Packet-level discrete-event network simulator.
+
+This subpackage replaces the paper's ns-3 simulations and tc-based
+wide-area testbed.  It provides:
+
+- :class:`~repro.netsim.engine.Simulator` -- the event loop,
+- :class:`~repro.netsim.link.Link` -- bandwidth/delay links with a
+  pluggable queueing discipline,
+- :class:`~repro.netsim.queues.DropTailQueue` and
+  :class:`~repro.netsim.token_bucket.TokenBucketFilter` /
+  :class:`~repro.netsim.token_bucket.DualClassQdisc` -- the rate-limiter
+  of the paper's Appendix C.1 (classifier + FIFO + TBF + round-robin),
+- :class:`~repro.netsim.tcp.TcpSender` -- a Cubic/Reno congestion
+  controlled sender with pacing, fast retransmit, and RTO recovery,
+- :class:`~repro.netsim.udp.UdpSender` -- trace-driven and Poisson UDP,
+- :mod:`~repro.netsim.background` -- CAIDA-like background traffic,
+- :class:`~repro.netsim.topology.FigureOneTopology` -- the paper's
+  Figure-1 two-path topology builder.
+"""
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.packet import ACK, DATA, Packet
+from repro.netsim.path import Path
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.tcp import TcpReceiver, TcpSender
+from repro.netsim.token_bucket import DualClassQdisc, TokenBucketFilter
+from repro.netsim.topology import FigureOneTopology, TopologyConfig
+from repro.netsim.udp import UdpReceiver, UdpSender
+
+__all__ = [
+    "Simulator",
+    "Link",
+    "Packet",
+    "DATA",
+    "ACK",
+    "Path",
+    "DropTailQueue",
+    "TokenBucketFilter",
+    "DualClassQdisc",
+    "TcpSender",
+    "TcpReceiver",
+    "UdpSender",
+    "UdpReceiver",
+    "FigureOneTopology",
+    "TopologyConfig",
+]

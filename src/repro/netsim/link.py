@@ -1,0 +1,80 @@
+"""Point-to-point links.
+
+A link serializes packets at ``bandwidth_bps``, holds them in its
+queueing discipline while busy, and delivers them ``delay_s`` later to
+whatever the packet's path says comes next.  A link with a
+:class:`~repro.netsim.token_bucket.DualClassQdisc` *is* the paper's
+rate-limiting device.
+"""
+
+from repro.netsim.queues import DropTailQueue
+
+
+class Link:
+    """A unidirectional link with bandwidth, propagation delay and a qdisc."""
+
+    def __init__(self, sim, name, bandwidth_bps, delay_s, qdisc=None):
+        if bandwidth_bps <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if delay_s < 0:
+            raise ValueError("link delay must be non-negative")
+        self.sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.delay_s = delay_s
+        self.qdisc = qdisc if qdisc is not None else DropTailQueue(500_000)
+        self._busy = False
+        self._wake_handle = None
+        # Statistics.
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.packets_offered = 0
+
+    @property
+    def drops(self):
+        return self.qdisc.drops
+
+    def send(self, packet):
+        """Offer a packet to this link; it may be queued or dropped."""
+        self.packets_offered += 1
+        if self.qdisc.enqueue(packet, self.sim.now):
+            self._try_transmit()
+        # A drop is silent, as on a real device; the transport discovers
+        # it through missing ACKs or sequence gaps.
+
+    def _try_transmit(self):
+        if self._busy:
+            return
+        packet, wake = self.qdisc.dequeue(self.sim.now)
+        if packet is None:
+            if wake is not None:
+                self._schedule_wake(wake)
+            return
+        self._busy = True
+        tx_time = packet.size * 8.0 / self.bandwidth_bps
+        self.sim.schedule(tx_time, self._transmit_done, packet)
+
+    def _schedule_wake(self, wake):
+        # Keep at most one pending wake-up; earlier ones win.
+        if self._wake_handle is not None and not self._wake_handle.cancelled:
+            return
+        self._wake_handle = self.sim.schedule_at(
+            max(wake, self.sim.now), self._on_wake
+        )
+
+    def _on_wake(self):
+        self._wake_handle = None
+        self._try_transmit()
+
+    def _transmit_done(self, packet):
+        self._busy = False
+        self.bytes_sent += packet.size
+        self.packets_sent += 1
+        self.sim.schedule(self.delay_s, packet.path.advance, packet)
+        self._try_transmit()
+
+    def utilization(self, elapsed):
+        """Fraction of ``elapsed`` seconds spent transmitting."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.bytes_sent * 8.0 / self.bandwidth_bps / elapsed)

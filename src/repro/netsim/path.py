@@ -1,0 +1,65 @@
+"""Paths: ordered sequences of links ending at a receiver.
+
+Routing in the experiments is static -- every flow knows its path up
+front (the paper's Figure-1 topologies are fixed for the duration of a
+test).  A packet carries its path and current hop; links call
+:meth:`Path.advance` after propagation to move it along.
+"""
+
+
+class Path:
+    """An ordered list of :class:`~repro.netsim.link.Link` plus a sink.
+
+    ``sink`` is any object with a ``receive(packet)`` method (a TCP or
+    UDP receiver, or a measurement tap).
+    """
+
+    def __init__(self, links, sink):
+        if not links:
+            raise ValueError("a path needs at least one link")
+        self.links = tuple(links)
+        self.sink = sink
+
+    def __len__(self):
+        return len(self.links)
+
+    def inject(self, packet):
+        """Start a packet down this path (called by the sender)."""
+        packet.path = self
+        packet.hop = 0
+        self.links[0].send(packet)
+
+    def advance(self, packet):
+        """Move a packet past the link it just crossed."""
+        packet.hop += 1
+        if packet.hop < len(self.links):
+            self.links[packet.hop].send(packet)
+        else:
+            self.sink.receive(packet)
+
+    @property
+    def propagation_delay(self):
+        """Sum of per-link propagation delays (no queueing)."""
+        return sum(link.delay_s for link in self.links)
+
+
+class DirectPath:
+    """A queue-less path used for reverse (ACK) traffic.
+
+    The paper's measurements are all about the forward direction; ACKs
+    return over an uncongested reverse path.  ``DirectPath`` models that
+    as a pure delay, which keeps the event count manageable without
+    changing forward-path dynamics.
+    """
+
+    def __init__(self, sim, delay_s, sink, jitter=None):
+        self.sim = sim
+        self.delay_s = delay_s
+        self.sink = sink
+        self.jitter = jitter  # callable -> extra delay, or None
+
+    def inject(self, packet):
+        delay = self.delay_s
+        if self.jitter is not None:
+            delay += max(0.0, self.jitter())
+        self.sim.schedule(delay, self.sink.receive, packet)

@@ -1,0 +1,126 @@
+"""The paper's Figure-1 topology.
+
+Two paths, ``p1 = (l1, lc)`` and ``p2 = (l2, lc)``, start at different
+servers, converge exactly once, and the convergence -- the common link
+sequence ``lc`` -- is inside the target network area (the client's ISP).
+The WeHe reference path ``p0 = (l0, lc)`` from a third (or the same)
+server is also available for the single replay.
+
+The rate limiter can sit on ``lc`` (the scenario WeHeY must detect) or
+one copy on each of ``l1``/``l2`` (the adversarial false-positive
+scenario of Table 5).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.netsim.link import Link
+from repro.netsim.path import DirectPath, Path
+from repro.netsim.per_flow import make_per_flow_limiter
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.token_bucket import make_rate_limiter
+
+
+@dataclass
+class TopologyConfig:
+    """Knobs for a Figure-1 instance (defaults match Table 2's bold values).
+
+    Rates are bits/s, times are seconds.  ``limiter`` is ``"common"``,
+    ``"noncommon"`` or ``None``.  ``queue_factor`` is the TBF queue size
+    as a multiple of the burst (0.25 / 0.5 / 1 in Table 2).
+    ``noncommon_bandwidth_bps`` lets Table 4's congestion experiments
+    squeeze ``l1``/``l2``.
+    """
+
+    common_bandwidth_bps: float = 100e6
+    common_delay_s: float = 0.002
+    noncommon_bandwidth_bps: float = 100e6
+    rtt_1: float = 0.035
+    rtt_2: float = 0.035
+    limiter: str = None
+    limiter_rate_bps: float = 4e6
+    queue_factor: float = 0.5
+    queue_capacity_bytes: int = 400_000
+    extra_server_rtts: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if self.limiter not in (None, "common", "noncommon", "perflow"):
+            raise ValueError(f"unknown limiter placement {self.limiter!r}")
+        for name in ("rtt_1", "rtt_2"):
+            rtt = getattr(self, name)
+            if rtt <= 2 * self.common_delay_s:
+                raise ValueError(f"{name}={rtt} too small for common delay")
+
+
+class FigureOneTopology:
+    """Builds and owns the links of a Figure-1 experiment."""
+
+    def __init__(self, sim, config):
+        self.sim = sim
+        self.config = config
+
+        mean_rtt = (config.rtt_1 + config.rtt_2) / 2.0
+        if config.limiter == "common":
+            common_qdisc = make_rate_limiter(
+                config.limiter_rate_bps,
+                mean_rtt,
+                config.queue_factor,
+                fifo_capacity=config.queue_capacity_bytes,
+            )
+        elif config.limiter == "perflow":
+            common_qdisc = make_per_flow_limiter(
+                config.limiter_rate_bps,
+                mean_rtt,
+                config.queue_factor,
+                fifo_capacity=config.queue_capacity_bytes,
+            )
+        else:
+            common_qdisc = DropTailQueue(config.queue_capacity_bytes)
+        self.link_c = Link(
+            sim, "lc", config.common_bandwidth_bps, config.common_delay_s, common_qdisc
+        )
+
+        self.noncommon_links = []
+        self._rtts = []
+        rtts = [config.rtt_1, config.rtt_2] + list(config.extra_server_rtts)
+        for i, rtt in enumerate(rtts, start=1):
+            if config.limiter == "noncommon":
+                qdisc = make_rate_limiter(
+                    config.limiter_rate_bps,
+                    rtt,
+                    config.queue_factor,
+                    fifo_capacity=config.queue_capacity_bytes,
+                )
+            else:
+                qdisc = DropTailQueue(config.queue_capacity_bytes)
+            forward_delay = max(rtt / 2.0 - config.common_delay_s, 1e-4)
+            link = Link(
+                sim,
+                f"l{i}",
+                config.noncommon_bandwidth_bps,
+                forward_delay,
+                qdisc,
+            )
+            self.noncommon_links.append(link)
+            self._rtts.append(rtt)
+
+        self.link_1 = self.noncommon_links[0]
+        self.link_2 = self.noncommon_links[1]
+
+    def rtt(self, which):
+        """Configured RTT of path ``which`` (1-based)."""
+        return self._rtts[which - 1]
+
+    def forward_path(self, which, sink):
+        """Forward path from server ``which`` to the client sink."""
+        return Path([self.noncommon_links[which - 1], self.link_c], sink)
+
+    def reverse_path(self, which, sink, jitter=None):
+        """Uncongested reverse (ACK) path for server ``which``."""
+        return DirectPath(self.sim, self._rtts[which - 1] / 2.0, sink, jitter=jitter)
+
+    @property
+    def limiter_qdisc(self):
+        """The rate-limiting qdisc on ``lc``, if any."""
+        if self.config.limiter in ("common", "perflow"):
+            return self.link_c.qdisc
+        return None

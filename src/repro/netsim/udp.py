@@ -1,0 +1,88 @@
+"""UDP trace replay.
+
+The WeHe UDP applications (Skype, WhatsApp, MS Teams, Zoom, Webex) are
+replayed packet-for-packet: the sender follows a schedule of
+``(time, size)`` entries.  WeHeY's modification (Section 3.4) replaces
+the original transmission times with a Poisson process of the same
+average rate so that, by PASTA, the measured loss rate is an unbiased
+estimate of the bottleneck's loss rate; that transformation lives in
+:mod:`repro.wehe.traces` -- here we just replay whatever schedule we are
+given.
+
+Loss is measured at the *client* (Section 3.4): the receiver knows the
+sender's sequence numbers, so gaps are losses, registered at the time
+the surrounding packets arrive.
+"""
+
+from repro.netsim.packet import DATA, HEADER_BYTES, Packet
+
+UDP_HEADER_BYTES = 28
+
+
+class UdpReceiver:
+    """Receives trace packets; infers loss from sequence gaps."""
+
+    def __init__(self, sim, flow_id, capture=None):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.capture = capture
+        self.received_seqs = set()
+        self.arrivals = []  # (time, seq, payload_bytes)
+        self.bytes_received = 0
+
+    def receive(self, packet):
+        if packet.kind != DATA:
+            return
+        payload = packet.size - UDP_HEADER_BYTES
+        self.received_seqs.add(packet.seq)
+        self.arrivals.append((self.sim.now, packet.seq, payload))
+        self.bytes_received += payload
+        if self.capture is not None:
+            self.capture.on_arrival(self.sim.now, payload)
+
+    def loss_events(self, schedule, base_delay):
+        """Reconstruct client-side loss events.
+
+        ``schedule`` is the sender's list of ``(time, size)``; a packet
+        absent from ``received_seqs`` is a loss, registered at the time
+        it *would* have arrived (send time + path delay) -- this is how
+        the client-side loss log of Section 3.4 looks.
+        """
+        events = []
+        for seq, (t, _size) in enumerate(schedule):
+            if seq not in self.received_seqs:
+                events.append((t + base_delay, seq))
+        return events
+
+
+class UdpSender:
+    """Replays a ``(time, size)`` schedule of UDP datagrams."""
+
+    def __init__(self, sim, flow_id, path, schedule, dscp=0, start_at=0.0):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.path = path
+        self.schedule = list(schedule)
+        self.dscp = dscp
+        self.start_at = start_at
+        self.packets_sent = 0
+        self.send_times = []
+        for seq, (t, size) in enumerate(self.schedule):
+            sim.schedule_at(start_at + t, self._transmit, seq, size)
+
+    def _transmit(self, seq, size):
+        wire_size = size + UDP_HEADER_BYTES
+        packet = Packet(
+            self.flow_id,
+            DATA,
+            seq,
+            wire_size,
+            dscp=self.dscp,
+            sent_at=self.sim.now,
+        )
+        self.packets_sent += 1
+        self.send_times.append(self.sim.now)
+        self.path.inject(packet)
+
+
+__all__ = ["UdpSender", "UdpReceiver", "UDP_HEADER_BYTES", "HEADER_BYTES"]

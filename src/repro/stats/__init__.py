@@ -1,0 +1,35 @@
+"""From-scratch statistics used by WeHeY's detection algorithms.
+
+Everything here is implemented directly (and cross-checked against scipy
+in the test suite):
+
+- :func:`~repro.stats.empirical.ecdf` and friends -- empirical CDFs,
+- :func:`~repro.stats.ks.ks_2samp` -- two-sample Kolmogorov-Smirnov
+  (WeHe's differentiation detector),
+- :func:`~repro.stats.mwu.mann_whitney_u` -- one-sided Mann-Whitney U
+  (the throughput-comparison test of Section 4.1),
+- :func:`~repro.stats.spearman.spearman_test` -- Spearman rank
+  correlation with p-value (Algorithm 1's trend test),
+- :func:`~repro.stats.montecarlo.relative_mean_difference_distribution`
+  -- the O_diff Monte-Carlo machinery of Section 4.1,
+- :mod:`~repro.stats.bootstrap` -- jackknife / bootstrap error bars.
+"""
+
+from repro.stats.empirical import ecdf, ecdf_at, quantile
+from repro.stats.ks import ks_2samp
+from repro.stats.mwu import mann_whitney_u
+from repro.stats.montecarlo import relative_mean_difference, relative_mean_difference_distribution
+from repro.stats.spearman import rankdata, spearman_rho, spearman_test
+
+__all__ = [
+    "ecdf",
+    "ecdf_at",
+    "quantile",
+    "ks_2samp",
+    "mann_whitney_u",
+    "rankdata",
+    "spearman_rho",
+    "spearman_test",
+    "relative_mean_difference",
+    "relative_mean_difference_distribution",
+]

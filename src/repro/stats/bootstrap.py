@@ -1,0 +1,50 @@
+"""Jackknife and bootstrap resampling helpers.
+
+The paper (footnote 5) notes that statistical errors in loss-rate
+estimation "are bounded or can even be mitigated using jackknife or
+bootstrap methods"; these utilities provide that machinery for the
+experiment harness and for users extending the analysis.
+"""
+
+import numpy as np
+
+
+def jackknife(samples, statistic):
+    """Leave-one-out jackknife estimate and standard error.
+
+    Returns ``(estimate, standard_error)`` where ``estimate`` is the
+    bias-corrected jackknife estimate of ``statistic(samples)``.
+    """
+    samples = np.asarray(samples, dtype=float)
+    n = len(samples)
+    if n < 2:
+        raise ValueError("jackknife needs at least two samples")
+    full = statistic(samples)
+    leave_one_out = np.array(
+        [statistic(np.delete(samples, i)) for i in range(n)]
+    )
+    mean_loo = leave_one_out.mean()
+    estimate = n * full - (n - 1) * mean_loo
+    variance = (n - 1) / n * np.sum((leave_one_out - mean_loo) ** 2)
+    return float(estimate), float(np.sqrt(variance))
+
+
+def bootstrap_ci(samples, statistic, n_resamples, rng, confidence=0.95):
+    """Percentile bootstrap confidence interval.
+
+    Returns ``(low, high)`` for ``statistic`` at the given confidence
+    level, using ``n_resamples`` resamples with replacement.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if len(samples) < 2:
+        raise ValueError("bootstrap needs at least two samples")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    stats = np.empty(n_resamples)
+    n = len(samples)
+    for i in range(n_resamples):
+        resample = samples[rng.integers(0, n, size=n)]
+        stats[i] = statistic(resample)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(stats, [alpha, 1.0 - alpha])
+    return float(low), float(high)

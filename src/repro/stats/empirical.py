@@ -1,0 +1,50 @@
+"""Empirical distributions: ECDFs and quantiles."""
+
+import numpy as np
+
+
+def ecdf(samples):
+    """Empirical CDF of ``samples``.
+
+    Returns ``(xs, ps)`` where ``xs`` are the sorted unique sample
+    values and ``ps[i]`` is the fraction of samples ``<= xs[i]``.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("ecdf of an empty sample")
+    xs, counts = np.unique(samples, return_counts=True)
+    ps = np.cumsum(counts) / samples.size
+    return xs, ps
+
+
+def ecdf_at(samples, x):
+    """Evaluate the ECDF of ``samples`` at point(s) ``x``."""
+    samples = np.sort(np.asarray(samples, dtype=float))
+    if samples.size == 0:
+        raise ValueError("ecdf of an empty sample")
+    return np.searchsorted(samples, x, side="right") / samples.size
+
+
+def quantile(samples, q):
+    """Empirical quantile(s) (linear interpolation, like numpy default)."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("quantile of an empty sample")
+    return np.quantile(samples, q)
+
+
+def summarize(samples):
+    """Five-number + mean summary (used by the Figure-5 boxplots)."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("summary of an empty sample")
+    q1, median, q3 = np.quantile(samples, [0.25, 0.5, 0.75])
+    return {
+        "min": float(samples.min()),
+        "q1": float(q1),
+        "median": float(median),
+        "q3": float(q3),
+        "max": float(samples.max()),
+        "mean": float(samples.mean()),
+        "n": int(samples.size),
+    }

@@ -1,0 +1,116 @@
+"""Special functions needed by the hypothesis tests.
+
+Implemented from scratch (Numerical-Recipes-style) so the statistics
+layer has no hidden dependencies; the test suite cross-checks every
+function against scipy.
+"""
+
+import math
+
+
+def normal_sf(z):
+    """Survival function of the standard normal, ``P(Z > z)``."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def log_gamma(x):
+    """Natural log of the gamma function (Lanczos approximation)."""
+    if x <= 0:
+        raise ValueError("log_gamma requires x > 0")
+    coefficients = (
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    )
+    y = x
+    tmp = x + 5.5
+    tmp -= (x + 0.5) * math.log(tmp)
+    series = 1.000000000190015
+    for coefficient in coefficients:
+        y += 1.0
+        series += coefficient / y
+    return -tmp + math.log(2.5066282746310005 * series / x)
+
+
+def _betacf(a, b, x, max_iter=200, eps=3e-12):
+    """Continued fraction for the incomplete beta function."""
+    tiny = 1e-300
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iter + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < eps:
+            return h
+    return h
+
+
+def betainc(a, b, x):
+    """Regularized incomplete beta function ``I_x(a, b)``."""
+    if not 0.0 <= x <= 1.0:
+        raise ValueError("x must be in [0, 1]")
+    if x == 0.0 or x == 1.0:
+        return float(x)
+    ln_front = (
+        log_gamma(a + b)
+        - log_gamma(a)
+        - log_gamma(b)
+        + a * math.log(x)
+        + b * math.log(1.0 - x)
+    )
+    front = math.exp(ln_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def t_sf(t, df):
+    """Survival function of Student's t, ``P(T > t)``."""
+    if df <= 0:
+        raise ValueError("df must be positive")
+    x = df / (df + t * t)
+    p = 0.5 * betainc(df / 2.0, 0.5, x)
+    if t < 0:
+        return 1.0 - p
+    return p
+
+
+def kolmogorov_sf(x):
+    """Survival function of the Kolmogorov distribution, ``Q_KS(x)``."""
+    if x <= 0:
+        return 1.0
+    total = 0.0
+    for k in range(1, 101):
+        term = (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * x * x)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return max(0.0, min(1.0, 2.0 * total))

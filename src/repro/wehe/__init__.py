@@ -1,0 +1,34 @@
+"""The WeHe substrate.
+
+WeHe (Li et al., SIGCOMM 2019) detects traffic differentiation by
+replaying a prerecorded application trace and a bit-inverted copy of it
+between a client and a server, then comparing the two end-to-end
+throughput distributions.  WeHeY is built on top of this machinery
+(Section 2.1 / 3.4 of the paper), so we implement it here:
+
+- :mod:`~repro.wehe.traces` -- trace records, bit inversion, the
+  Poisson-time modification for UDP and trace extension for TCP;
+- :mod:`~repro.wehe.apps` -- the replayed application library (video
+  streaming over TCP; Skype, WhatsApp, MS Teams, Zoom, Webex over UDP);
+- :mod:`~repro.wehe.replay` -- replay endpoints over the simulator;
+- :mod:`~repro.wehe.detection` -- the KS-based differentiation verdict;
+- :mod:`~repro.wehe.loss_measurement` -- server-side retransmission
+  loss estimation with its two noise sources;
+- :mod:`~repro.wehe.corpus` -- the historical test corpus from which
+  T_diff (normal throughput variation) is derived.
+"""
+
+from repro.wehe.apps import APP_SPECS, make_trace
+from repro.wehe.detection import DifferentiationResult, detect_differentiation
+from repro.wehe.traces import Trace, bit_invert, extend_to_duration, poissonize
+
+__all__ = [
+    "APP_SPECS",
+    "make_trace",
+    "Trace",
+    "bit_invert",
+    "poissonize",
+    "extend_to_duration",
+    "DifferentiationResult",
+    "detect_differentiation",
+]

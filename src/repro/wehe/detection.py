@@ -1,0 +1,89 @@
+"""WeHe's differentiation detector (Section 2.1).
+
+The client divides the replay duration into 100 intervals, computes the
+throughput per interval for the original and the bit-inverted replay,
+builds the two CDFs, and compares them with a two-sample KS test: a
+significant difference means traffic differentiation somewhere on the
+path.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.ks import ks_2samp
+
+N_THROUGHPUT_INTERVALS = 100
+
+
+@dataclass(frozen=True)
+class DifferentiationResult:
+    """WeHe's verdict for one path."""
+
+    differentiated: bool
+    ks_statistic: float
+    pvalue: float
+    original_mean_bps: float
+    inverted_mean_bps: float
+    #: WeHe's Area Test statistic (Li et al. 2019): the normalized area
+    #: between the two throughput CDFs; ~0 for identical behaviour,
+    #: approaching 1 for fully separated distributions.
+    area_statistic: float = 0.0
+
+    @property
+    def throttled(self):
+        """True when the original trace did *worse* (the throttling case)."""
+        return self.differentiated and self.original_mean_bps < self.inverted_mean_bps
+
+
+def area_test_statistic(original_samples, inverted_samples):
+    """The area between the two throughput CDFs, normalized.
+
+    WeHe uses this alongside the KS test: the KS statistic is the
+    *maximum* CDF gap (sensitive to a single narrow divergence), while
+    the area statistic integrates the gap over the throughput range and
+    so reflects how different the distributions are overall.
+    """
+    original = np.sort(np.asarray(original_samples, dtype=float))
+    inverted = np.sort(np.asarray(inverted_samples, dtype=float))
+    if original.size == 0 or inverted.size == 0:
+        raise ValueError("need samples from both replays")
+    grid = np.unique(np.concatenate([original, inverted]))
+    if grid.size < 2:
+        return 0.0
+    cdf_original = np.searchsorted(original, grid, side="right") / original.size
+    cdf_inverted = np.searchsorted(inverted, grid, side="right") / inverted.size
+    widths = np.diff(grid)
+    gaps = np.abs(cdf_original - cdf_inverted)[:-1]
+    span = grid[-1] - grid[0]
+    return float(np.sum(gaps * widths) / span)
+
+
+def detect_differentiation(
+    original_samples, inverted_samples, alpha=0.05, min_relative_gap=0.05
+):
+    """Compare original vs bit-inverted throughput samples, WeHe-style.
+
+    Both inputs are per-interval throughput arrays (bits/s).  On top of
+    the KS significance test, a minimum relative mean gap guards against
+    flagging statistically-significant-but-tiny differences -- WeHe
+    requires the difference to be practically meaningful as well.
+    """
+    original = np.asarray(original_samples, dtype=float)
+    inverted = np.asarray(inverted_samples, dtype=float)
+    if original.size == 0 or inverted.size == 0:
+        raise ValueError("need throughput samples from both replays")
+    ks = ks_2samp(original, inverted)
+    mean_original = float(original.mean())
+    mean_inverted = float(inverted.mean())
+    top = max(mean_original, mean_inverted)
+    relative_gap = 0.0 if top == 0 else abs(mean_original - mean_inverted) / top
+    differentiated = ks.pvalue < alpha and relative_gap >= min_relative_gap
+    return DifferentiationResult(
+        differentiated=differentiated,
+        ks_statistic=ks.statistic,
+        pvalue=ks.pvalue,
+        original_mean_bps=mean_original,
+        inverted_mean_bps=mean_inverted,
+        area_statistic=area_test_statistic(original, inverted),
+    )

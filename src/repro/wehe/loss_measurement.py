@@ -1,0 +1,58 @@
+"""Server-side loss measurement for TCP replays.
+
+The client typically cannot observe transport-layer loss (mobile OSes),
+so WeHeY estimates it at the server from TCP retransmissions
+(Section 3.4).  This signal is noisy in two specific ways (Section 4.2):
+
+1. *Overcounting* -- retransmissions also fire for late (not lost)
+   packets, e.g. spurious RTOs;
+2. *Delayed registration* -- a loss is logged when the sender detects
+   it (duplicate ACKs or timeout), not when the queue dropped it, and
+   the delay differs across paths (desynchronization).
+
+The simulator's TCP already produces both effects organically; this
+estimator optionally injects *additional* noise so the robustness of
+Algorithm 1 can be stress-tested beyond what the simulator generates.
+"""
+
+import numpy as np
+
+
+class RetransmissionLossEstimator:
+    """Turns a sender's retransmission log into loss-event timestamps.
+
+    Parameters:
+        overcount_rate: probability of duplicating a loss event
+            (models measurement tools double-counting rexmits).
+        registration_jitter: std-dev (seconds) of extra Gaussian delay
+            added to each registration time.
+        rng: numpy Generator; required when noise is enabled.
+    """
+
+    def __init__(self, overcount_rate=0.0, registration_jitter=0.0, rng=None):
+        if not 0.0 <= overcount_rate < 1.0:
+            raise ValueError("overcount_rate must be in [0, 1)")
+        if registration_jitter < 0.0:
+            raise ValueError("registration_jitter must be non-negative")
+        if (overcount_rate > 0 or registration_jitter > 0) and rng is None:
+            raise ValueError("noise injection requires an rng")
+        self.overcount_rate = overcount_rate
+        self.registration_jitter = registration_jitter
+        self.rng = rng
+
+    def loss_times(self, sender):
+        """Loss-event timestamps estimated from ``sender.retx_log``."""
+        times = [t for t, _seq, _reason in sender.retx_log]
+        if self.registration_jitter > 0 and times:
+            jitter = self.rng.normal(0.0, self.registration_jitter, size=len(times))
+            times = list(np.maximum(0.0, np.asarray(times) + jitter))
+        if self.overcount_rate > 0 and times:
+            extra = [t for t in times if self.rng.random() < self.overcount_rate]
+            times = times + extra
+        return sorted(times)
+
+    def loss_rate(self, sender):
+        """Estimated loss rate: retransmissions / transmissions."""
+        if sender.packets_sent == 0:
+            return 0.0
+        return len(self.loss_times(sender)) / sender.packets_sent

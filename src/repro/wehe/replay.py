@@ -1,0 +1,196 @@
+"""Replay endpoints: running a trace between a server and the client.
+
+``attach_replay`` wires a trace onto a forward path of a
+:class:`~repro.netsim.topology.FigureOneTopology`:
+
+- TCP traces become a bulk :class:`~repro.netsim.tcp.TcpSender` with
+  pacing enabled (Section 3.4: congestion control and pacing dictate
+  transmission times) running for the replay duration;
+- UDP traces become a :class:`~repro.netsim.udp.UdpSender` following
+  the (possibly Poisson-modified) schedule.
+
+The returned :class:`ReplayHandle` exposes the client-side throughput
+capture and, after the simulation ran, the
+:class:`~repro.netsim.capture.PathMeasurements` the detection
+algorithms consume -- built from server-side retransmissions for TCP
+and client-side sequence gaps for UDP, exactly as in Section 3.4.
+"""
+
+import numpy as np
+
+from repro.netsim.capture import FlowCapture, PathMeasurements
+from repro.netsim.tcp import TcpReceiver, TcpSender
+from repro.netsim.udp import UdpReceiver, UdpSender
+from repro.wehe.loss_measurement import RetransmissionLossEstimator
+from repro.wehe.traces import MIN_REPLAY_DURATION, extend_to_duration
+
+
+class TraceAppSource:
+    """Application-limits a TCP replay to the trace's byte schedule.
+
+    The WeHe server writes the trace's payload on the trace's own
+    timeline; TCP may fall behind (backlog) but can never run ahead of
+    what the application has produced.  This is what keeps replay
+    slow-start overshoot bounded by the first chunk rather than by the
+    congestion window alone.
+    """
+
+    def __init__(self, trace, start_at=0.0):
+        times = np.asarray([t for t, _ in trace.schedule], dtype=float) + start_at
+        sizes = np.asarray([s for _, s in trace.schedule], dtype=float)
+        self._times = times
+        self._cumulative = np.cumsum(sizes)
+
+    def available_bytes(self, now):
+        """Payload bytes the application has written by time ``now``."""
+        index = int(np.searchsorted(self._times, now, side="right"))
+        if index == 0:
+            return 0.0
+        return float(self._cumulative[index - 1])
+
+    def next_release_after(self, now):
+        """Next time the application writes more data, or None."""
+        index = int(np.searchsorted(self._times, now, side="right"))
+        if index >= len(self._times):
+            return None
+        return float(self._times[index])
+
+
+class ReplayHandle:
+    """A live replay: sender + receiver + measurement taps for one path."""
+
+    def __init__(self, trace, sender, receiver, capture, path, rtt, protocol, start_at):
+        self.trace = trace
+        self.sender = sender
+        self.receiver = receiver
+        self.capture = capture
+        self.path = path
+        self.rtt = rtt
+        self.protocol = protocol
+        self.start_at = start_at
+
+    def throughput_samples(self, n_intervals=100):
+        """Client-side per-interval throughput (the WeHe measurement)."""
+        return self.capture.throughput_samples(n_intervals=n_intervals)
+
+    def mean_throughput(self):
+        return self.capture.mean_throughput()
+
+    def path_measurements(self, loss_estimator=None):
+        """Loss/transmission logs for the detection algorithms.
+
+        TCP: server-side retransmission log (noisy by construction);
+        UDP: client-side sequence gaps registered at expected arrival.
+        """
+        if self.protocol == "tcp":
+            estimator = loss_estimator or RetransmissionLossEstimator()
+            loss_times = estimator.loss_times(self.sender)
+            send_times = list(self.sender.send_times)
+            # Algorithm 1 scales its interval sweep by the path's
+            # *minimum* RTT (line 2); use the measured one.
+            rtt = self.sender.min_rtt or self.rtt
+        else:
+            base_delay = self.path.propagation_delay
+            schedule = [
+                (self.start_at + t, size) for t, size in self.sender.schedule
+            ]
+            loss_times = [t for t, _seq in self.receiver.loss_events(schedule, base_delay)]
+            send_times = list(self.sender.send_times)
+            rtt = self.rtt
+        return PathMeasurements(send_times, loss_times, rtt)
+
+    def retransmission_rate(self):
+        """Server-side retx rate (TCP) or client-observed loss rate (UDP)."""
+        if self.protocol == "tcp":
+            return self.sender.retransmission_rate
+        sent = self.sender.packets_sent
+        if sent == 0:
+            return 0.0
+        return 1.0 - len(self.receiver.received_seqs) / sent
+
+    def queuing_delay(self):
+        """Mean RTT minus min RTT (TCP only; UDP returns 0)."""
+        if self.protocol == "tcp":
+            return self.sender.mean_queuing_delay()
+        return 0.0
+
+
+def attach_replay(
+    sim,
+    topology,
+    which,
+    trace,
+    start_at=0.0,
+    duration=None,
+    dscp=None,
+    flow_id=None,
+    ack_jitter_rng=None,
+):
+    """Wire a replay of ``trace`` from server ``which`` onto the topology.
+
+    ``dscp`` defaults to 1 for original traces (a DPI differentiator
+    matches the intact SNI) and 0 for bit-inverted ones -- the netsim
+    encoding of the paper's content-triggered classification.
+    ``duration`` defaults to the extended-trace duration (>= 45 s).
+    """
+    if dscp is None:
+        dscp = 1 if trace.is_original else 0
+    if flow_id is None:
+        suffix = "orig" if trace.is_original else "inv"
+        flow_id = f"replay-{trace.app}-{which}-{suffix}"
+    capture = FlowCapture()
+    rtt = topology.rtt(which)
+
+    if trace.protocol == "tcp":
+        if duration is None:
+            duration = max(trace.duration, MIN_REPLAY_DURATION)
+        replay_trace = trace
+        if replay_trace.duration < duration:
+            replay_trace = extend_to_duration(trace, duration)
+        receiver = TcpReceiver(sim, flow_id, capture)
+        path = topology.forward_path(which, receiver)
+        # Reverse-path delay jitter (a couple of ms, as on any real WAN)
+        # keeps deterministically paced flows from phase-locking against
+        # each other at a shared queue -- a simulator artifact that does
+        # not exist in the paper's testbed.
+        jitter = None
+        if ack_jitter_rng is not None:
+            jitter = lambda: float(ack_jitter_rng.uniform(0.0, 0.003))
+        reverse = topology.reverse_path(which, None, jitter=jitter)
+        sender = TcpSender(
+            sim,
+            flow_id,
+            path,
+            receiver,
+            reverse,
+            dscp=dscp,
+            pacing=True,
+            start_at=start_at,
+            stop_at=start_at + duration,
+            app_source=TraceAppSource(replay_trace, start_at),
+        )
+        reverse.sink = sender
+        trace = replay_trace
+    else:
+        replay_trace = extend_to_duration(trace)
+        if duration is not None:
+            replay_trace = _truncate(replay_trace, duration)
+        receiver = UdpReceiver(sim, flow_id, capture)
+        path = topology.forward_path(which, receiver)
+        sender = UdpSender(
+            sim, flow_id, path, replay_trace.schedule, dscp=dscp, start_at=start_at
+        )
+        trace = replay_trace
+
+    return ReplayHandle(
+        trace, sender, receiver, capture, path, rtt, trace.protocol, start_at
+    )
+
+
+def _truncate(trace, duration):
+    from repro.wehe.traces import Trace
+
+    schedule = tuple((t, s) for t, s in trace.schedule if t <= duration)
+    if not schedule:
+        schedule = (trace.schedule[0],)
+    return Trace(trace.app, trace.protocol, schedule, trace.sni)

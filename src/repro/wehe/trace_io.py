@@ -1,0 +1,68 @@
+"""Trace serialization.
+
+WeHe ships its prerecorded traces as files; this module provides the
+equivalent for our synthetic traces: a stable JSON format with a
+version field, plus summary statistics used when curating a trace
+library.
+"""
+
+import json
+
+from repro.wehe.traces import Trace
+
+FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace):
+    """A JSON-serializable representation of a trace."""
+    return {
+        "version": FORMAT_VERSION,
+        "app": trace.app,
+        "protocol": trace.protocol,
+        "sni": trace.sni,
+        "schedule": [[t, s] for t, s in trace.schedule],
+    }
+
+
+def trace_from_dict(data):
+    """Inverse of :func:`trace_to_dict` (validates the version)."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version!r}")
+    return Trace(
+        app=data["app"],
+        protocol=data["protocol"],
+        schedule=tuple((float(t), int(s)) for t, s in data["schedule"]),
+        sni=data.get("sni"),
+    )
+
+
+def save_trace(trace, path):
+    """Write a trace to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(trace_to_dict(trace), handle)
+
+
+def load_trace(path):
+    """Read a trace written by :func:`save_trace`."""
+    with open(path) as handle:
+        return trace_from_dict(json.load(handle))
+
+
+def trace_statistics(trace):
+    """Summary statistics for curating a trace library."""
+    sizes = [s for _, s in trace.schedule]
+    times = [t for t, _ in trace.schedule]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    return {
+        "app": trace.app,
+        "protocol": trace.protocol,
+        "n_packets": trace.n_packets,
+        "total_bytes": trace.total_bytes,
+        "duration_s": trace.duration,
+        "mean_rate_bps": trace.mean_rate_bps,
+        "mean_packet_bytes": sum(sizes) / len(sizes),
+        "max_packet_bytes": max(sizes),
+        "mean_gap_s": (sum(gaps) / len(gaps)) if gaps else 0.0,
+        "original": trace.is_original,
+    }

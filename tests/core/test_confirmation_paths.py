@@ -1,0 +1,57 @@
+"""Edge-case tests for detection results and report plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.loss_correlation import LossCorrelationResult
+from repro.core.throughput_comparison import ThroughputComparisonResult
+from repro.wehe.detection import DifferentiationResult, detect_differentiation
+
+
+class TestDifferentiationResult:
+    def test_throttled_requires_both_conditions(self):
+        slower = DifferentiationResult(True, 0.5, 0.001, 1e6, 5e6)
+        assert slower.throttled
+        faster = DifferentiationResult(True, 0.5, 0.001, 5e6, 1e6)
+        assert not faster.throttled
+        undetected = DifferentiationResult(False, 0.1, 0.4, 1e6, 5e6)
+        assert not undetected.throttled
+
+    def test_zero_throughput_edge(self):
+        # A dead original replay against a live inverted one.
+        rng = np.random.default_rng(1)
+        original = np.zeros(100)
+        inverted = rng.normal(5e6, 1e5, 100)
+        result = detect_differentiation(original, inverted)
+        assert result.differentiated
+        assert result.throttled
+
+    def test_both_dead_is_not_differentiation(self):
+        result = detect_differentiation(np.zeros(100), np.zeros(100))
+        assert not result.differentiated
+
+
+class TestResultTypes:
+    def test_loss_result_fraction(self):
+        result = LossCorrelationResult(
+            common_bottleneck=True, n_correlated=40, n_intervals_tested=41
+        )
+        assert result.correlated_fraction == pytest.approx(40 / 41)
+
+    def test_loss_result_empty(self):
+        result = LossCorrelationResult(
+            common_bottleneck=False, n_correlated=0, n_intervals_tested=0
+        )
+        assert result.correlated_fraction == 0.0
+
+    def test_throughput_result_is_frozen(self):
+        result = ThroughputComparisonResult(
+            common_bottleneck=True,
+            pvalue=0.01,
+            odiff=np.array([0.1]),
+            tdiff=np.array([0.2]),
+            x_mean_bps=1.0,
+            y_mean_bps=1.0,
+        )
+        with pytest.raises(AttributeError):
+            result.pvalue = 0.5

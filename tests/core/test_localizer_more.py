@@ -1,0 +1,105 @@
+"""Additional localizer scenarios: asymmetric paths, partial confirmation."""
+
+import numpy as np
+import pytest
+
+from repro.core.localizer import (
+    LocalizationOutcome,
+    Mechanism,
+    SimultaneousReplayResult,
+    WeHeYLocalizer,
+)
+from repro.netsim.capture import PathMeasurements
+from repro.wehe.traces import Trace
+
+
+def trace_pair():
+    original = Trace("app", "udp", ((0.0, 500), (0.02, 500)), sni="x.com")
+    return original, Trace("app", "udp", ((0.0, 500), (0.02, 500)), sni=None)
+
+
+def measurements(rng, shared=True):
+    sends = np.sort(rng.uniform(0, 60, 12000))
+    trend = 1.0 + 0.8 * np.sin(2 * np.pi * sends / 8.0)
+    p2_trend = trend if shared else (2.0 - trend)
+    m1 = PathMeasurements(
+        sends, sends[rng.random(len(sends)) < np.clip(0.03 * trend, 0, 1)], 0.035
+    )
+    m2 = PathMeasurements(
+        sends, sends[rng.random(len(sends)) < np.clip(0.03 * p2_trend, 0, 1)], 0.035
+    )
+    return m1, m2
+
+
+class AsymmetricService:
+    """Path 1 differentiates, path 2 does not (e.g. the limiter sits on
+    l1 rather than inside the ISP): confirmation must gate this out."""
+
+    def __init__(self, rng):
+        self.rng = rng
+
+    def single_replay(self, trace):
+        return self.rng.normal(2.5e6, 0.1e6, 100)
+
+    def simultaneous_replay(self, trace):
+        mean_1 = 1.2e6 if trace.is_original else 8e6
+        mean_2 = 8e6  # never throttled
+        m1, m2 = measurements(self.rng)
+        return SimultaneousReplayResult(
+            samples_1=self.rng.normal(mean_1, 0.05e6, 100),
+            samples_2=self.rng.normal(mean_2, 0.05e6, 100),
+            measurements_1=m1,
+            measurements_2=m2,
+        )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(61)
+
+
+@pytest.fixture
+def tdiff(rng):
+    return rng.normal(0.0, 0.08, 100)
+
+
+class TestAsymmetricDifferentiation:
+    def test_single_path_differentiation_is_gated(self, rng, tdiff):
+        localizer = WeHeYLocalizer(rng, tdiff)
+        original, inverted = trace_pair()
+        report = localizer.localize(AsymmetricService(rng), original, inverted)
+        assert report.outcome is LocalizationOutcome.NO_EVIDENCE
+        assert report.confirmation_1.differentiated
+        assert not report.confirmation_2.differentiated
+        assert report.mechanism is Mechanism.NONE
+
+
+class TestDetectorPrecedence:
+    def test_throughput_comparison_takes_precedence(self, rng, tdiff):
+        """When both detectors would fire, the per-client mechanism is
+        reported (it is checked first, as in Section 3.1)."""
+
+        class BothService:
+            def __init__(self, rng):
+                self.rng = rng
+
+            def single_replay(self, trace):
+                return self.rng.normal(2.5e6, 0.05e6, 100)
+
+            def simultaneous_replay(self, trace):
+                mean = 1.25e6 if trace.is_original else 8e6
+                m1, m2 = measurements(self.rng, shared=True)
+                return SimultaneousReplayResult(
+                    samples_1=self.rng.normal(mean, 0.03e6, 100),
+                    samples_2=self.rng.normal(mean, 0.03e6, 100),
+                    measurements_1=m1,
+                    measurements_2=m2,
+                )
+
+        localizer = WeHeYLocalizer(rng, tdiff)
+        original, inverted = trace_pair()
+        report = localizer.localize(BothService(rng), original, inverted)
+        assert report.localized
+        assert report.mechanism is Mechanism.PER_CLIENT_THROTTLING
+        # Algorithm 1 never ran.
+        assert report.loss_result is None

@@ -1,0 +1,111 @@
+"""Algorithm-1 tests on synthetic measurements with known ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.core.loss_correlation import LossTrendCorrelation
+from repro.netsim.capture import PathMeasurements
+
+
+def synthetic_paths(
+    rng,
+    duration=60.0,
+    rate_pps=200,
+    rtt=0.035,
+    shared_trend=True,
+    base_loss=0.03,
+    trend_amplitude=0.8,
+    trend_period=8.0,
+):
+    """Two paths whose loss processes share (or don't) a slow trend."""
+
+    def one_path(phase):
+        sends = np.sort(rng.uniform(0, duration, int(rate_pps * duration)))
+        trend = 1.0 + trend_amplitude * np.sin(2 * np.pi * sends / trend_period + phase)
+        p_loss = np.clip(base_loss * trend, 0, 1)
+        lost = sends[rng.random(len(sends)) < p_loss]
+        return PathMeasurements(sends, lost, rtt)
+
+    if shared_trend:
+        return one_path(0.0), one_path(0.0)
+    # Opposite phases: trends are maximally decorrelated.
+    return one_path(0.0), one_path(np.pi)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(101)
+
+
+class TestDetection:
+    def test_shared_trend_detected(self, rng):
+        m1, m2 = synthetic_paths(rng, shared_trend=True)
+        result = LossTrendCorrelation().detect(m1, m2)
+        assert result.common_bottleneck
+        assert result.correlated_fraction > 0.95
+
+    def test_opposite_trend_rejected(self, rng):
+        m1, m2 = synthetic_paths(rng, shared_trend=False)
+        result = LossTrendCorrelation().detect(m1, m2)
+        assert not result.common_bottleneck
+
+    def test_independent_noise_rejected(self, rng):
+        m1, _ = synthetic_paths(rng, trend_amplitude=0.0)
+        m2, _ = synthetic_paths(np.random.default_rng(202), trend_amplitude=0.0)
+        result = LossTrendCorrelation().detect(m1, m2)
+        assert not result.common_bottleneck
+
+    def test_no_loss_is_inconclusive(self, rng):
+        sends = np.sort(rng.uniform(0, 60, 6000))
+        m1 = PathMeasurements(sends, [], rtt=0.035)
+        m2 = PathMeasurements(sends, [], rtt=0.035)
+        result = LossTrendCorrelation().detect(m1, m2)
+        assert not result.common_bottleneck
+        assert result.n_correlated == 0
+
+    def test_desynchronized_registration_tolerated(self, rng):
+        # Shift path 2's loss registrations by ~3 RTTs: the multi-RTT
+        # interval sizes must absorb this (Section 4.2's rationale).
+        m1, m2 = synthetic_paths(rng, shared_trend=True)
+        shifted = PathMeasurements(m2.send_times, m2.loss_times + 0.1, m2.rtt)
+        result = LossTrendCorrelation().detect(m1, shifted)
+        assert result.common_bottleneck
+
+
+class TestConfiguration:
+    def test_interval_sizes_scale_with_rtt(self, rng):
+        m1, m2 = synthetic_paths(rng, rtt=0.05)
+        alg = LossTrendCorrelation(rtt_multiples=(10, 50))
+        sizes = alg.interval_sizes(m1, m2)
+        assert sizes == [pytest.approx(0.5), pytest.approx(2.5)]
+
+    def test_larger_rtt_of_the_two_wins(self, rng):
+        m1, _ = synthetic_paths(rng, rtt=0.02)
+        _, m2 = synthetic_paths(rng, rtt=0.08)
+        alg = LossTrendCorrelation(rtt_multiples=(10,))
+        assert alg.interval_sizes(m1, m2) == [pytest.approx(0.8)]
+
+    def test_rejects_bad_fp_rate(self):
+        with pytest.raises(ValueError):
+            LossTrendCorrelation(fp_rate=0.0)
+        with pytest.raises(ValueError):
+            LossTrendCorrelation(fp_rate=1.0)
+
+    def test_rejects_empty_multiples(self):
+        with pytest.raises(ValueError):
+            LossTrendCorrelation(rtt_multiples=())
+
+    def test_verdict_details_exposed(self, rng):
+        m1, m2 = synthetic_paths(rng)
+        result = LossTrendCorrelation(rtt_multiples=(10, 20, 30)).detect(m1, m2)
+        assert result.n_intervals_tested == 3
+        assert len(result.per_interval) == 3
+        for verdict in result.per_interval:
+            assert 0.0 <= verdict.pvalue <= 1.0
+
+    def test_threshold_rule_is_strict(self, rng):
+        # With 2 sizes and FP=0.05, (1-FP)*2 = 1.9: both must correlate.
+        m1, m2 = synthetic_paths(rng)
+        result = LossTrendCorrelation(rtt_multiples=(10, 50)).detect(m1, m2)
+        if result.common_bottleneck:
+            assert result.n_correlated == 2

@@ -1,0 +1,85 @@
+"""Throughput-comparison (Section 4.1) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.throughput_comparison import (
+    ThroughputComparison,
+    aggregate_simultaneous_samples,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(55)
+
+
+def tdiff_samples(rng, cv=0.08, n=100):
+    """Synthetic normal-variation distribution (relative differences)."""
+    return rng.normal(0.0, cv, n)
+
+
+class TestDetect:
+    def test_per_client_throttling_detected(self, rng):
+        # X and Y both equal the throttle rate: their difference is far
+        # smaller than normal test-to-test variation.
+        x = rng.normal(2.5e6, 0.05e6, 100)
+        y = rng.normal(2.5e6, 0.05e6, 100)
+        result = ThroughputComparison(rng).detect(x, y, tdiff_samples(rng))
+        assert result.common_bottleneck
+        assert result.pvalue < 0.05
+
+    def test_shared_with_other_traffic_rejected(self, rng):
+        # Y clearly differs from X (Figure 2b): no dedicated queue.
+        x = rng.normal(4.0e6, 0.2e6, 100)
+        y = rng.normal(2.0e6, 0.2e6, 100)
+        result = ThroughputComparison(rng).detect(x, y, tdiff_samples(rng))
+        assert not result.common_bottleneck
+
+    def test_rejects_y_larger_than_x_too(self, rng):
+        # A large gap in either direction is evidence against a
+        # dedicated per-client queue (magnitude comparison).
+        x = rng.normal(2.0e6, 0.2e6, 100)
+        y = rng.normal(4.0e6, 0.2e6, 100)
+        result = ThroughputComparison(rng).detect(x, y, tdiff_samples(rng))
+        assert not result.common_bottleneck
+
+    def test_insufficient_tdiff_refuses(self, rng):
+        x = rng.normal(2.5e6, 0.05e6, 100)
+        result = ThroughputComparison(rng, min_tdiff_samples=20).detect(
+            x, x, tdiff_samples(rng, n=5)
+        )
+        assert not result.common_bottleneck
+        assert result.pvalue == 1.0
+
+    def test_odiff_size_matches_tdiff(self, rng):
+        x = rng.normal(2.5e6, 0.05e6, 100)
+        tdiff = tdiff_samples(rng, n=73)
+        result = ThroughputComparison(rng).detect(x, x, tdiff)
+        assert len(result.odiff) == 73
+
+    def test_requires_enough_samples(self, rng):
+        with pytest.raises(ValueError):
+            ThroughputComparison(rng).detect([1.0], [1.0, 2.0, 3.0, 4.0], tdiff_samples(rng))
+
+    def test_borderline_variation_is_conservative(self, rng):
+        # X-Y difference comparable to normal variation: we should NOT
+        # claim a common bottleneck.
+        x = rng.normal(2.5e6, 0.05e6, 100)
+        y = x * (1 + 0.25)  # 25% gap >> 8% normal variation
+        result = ThroughputComparison(rng).detect(x, y, tdiff_samples(rng, cv=0.08))
+        assert not result.common_bottleneck
+
+
+class TestAggregate:
+    def test_elementwise_sum(self):
+        y = aggregate_simultaneous_samples([1.0, 2.0], [10.0, 20.0])
+        np.testing.assert_allclose(y, [11.0, 22.0])
+
+    def test_truncates_to_shorter(self):
+        y = aggregate_simultaneous_samples([1.0, 2.0, 3.0], [10.0])
+        np.testing.assert_allclose(y, [11.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate_simultaneous_samples([], [])

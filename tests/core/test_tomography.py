@@ -1,0 +1,178 @@
+"""Tomography-baseline tests (Algorithms 2-4 and V2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.packet_pair import PacketPairCorrelation
+from repro.core.tomography import (
+    BinLossTomo,
+    BinLossTomoNoParams,
+    BinLossTomoPlusPlus,
+    TrendLossTomo,
+    path_loss_series,
+)
+from repro.netsim.capture import PathMeasurements
+
+
+def measurements_with_common_bottleneck(rng, duration=60.0, rtt=0.035):
+    """Both paths lose in the same (bursty) episodes: lc is the cause."""
+    episodes = rng.uniform(0, duration, 12)
+
+    def one_path():
+        sends = np.sort(rng.uniform(0, duration, int(200 * duration)))
+        p = np.full(len(sends), 0.002)
+        for episode in episodes:
+            p[np.abs(sends - episode) < 1.0] = 0.15
+        lost = sends[rng.random(len(sends)) < p]
+        return PathMeasurements(sends, lost, rtt)
+
+    return one_path(), one_path()
+
+
+def measurements_with_independent_loss(rng, duration=60.0, rtt=0.035):
+    """Each path loses in its own episodes: no common bottleneck."""
+
+    def one_path(episode_rng):
+        episodes = episode_rng.uniform(0, duration, 12)
+        sends = np.sort(episode_rng.uniform(0, duration, int(200 * duration)))
+        p = np.full(len(sends), 0.002)
+        for episode in episodes:
+            p[np.abs(sends - episode) < 1.0] = 0.15
+        lost = sends[episode_rng.random(len(sends)) < p]
+        return PathMeasurements(sends, lost, rtt)
+
+    return one_path(rng), one_path(np.random.default_rng(999))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+class TestPathLossSeries:
+    def test_keeps_zero_loss_intervals(self, rng):
+        sends = np.sort(rng.uniform(0, 30, 3000))
+        m1 = PathMeasurements(sends, [15.0], rtt=0.035)
+        m2 = PathMeasurements(sends, [15.2], rtt=0.035)
+        rates_1, rates_2 = path_loss_series(m1, m2, 1.0)
+        assert len(rates_1) >= 25  # unlike Algorithm 1's filtered series
+        assert (rates_1 == 0).sum() > 20
+
+
+class TestBinLossTomo:
+    def test_common_bottleneck_blames_lc(self, rng):
+        m1, m2 = measurements_with_common_bottleneck(rng)
+        result = BinLossTomo(interval=1.0, loss_threshold=0.02).infer(m1, m2)
+        assert result.x_c < result.x_1
+        assert result.x_c < result.x_2
+
+    def test_independent_loss_spares_lc(self, rng):
+        m1, m2 = measurements_with_independent_loss(rng)
+        result = BinLossTomo(interval=1.0, loss_threshold=0.02).infer(m1, m2)
+        # With independent episodes, lc looks fine and l1/l2 absorb
+        # the blame.
+        assert result.x_c > result.x_1 or result.x_c > result.x_2
+
+    def test_degenerate_no_data(self):
+        m = PathMeasurements([0.0, 0.01], [0.0], rtt=0.03)
+        result = BinLossTomo(interval=1.0, loss_threshold=0.05).infer(m, m)
+        assert result.n_intervals == 0
+        assert (result.x_c, result.x_1, result.x_2) == (0.0, 0.0, 0.0)
+
+    def test_threshold_sensitivity_exists(self, rng):
+        # The Figure-3 phenomenon: inferred lc performance is NOT
+        # monotone/stable across thresholds near the true loss rate.
+        m1, m2 = measurements_with_common_bottleneck(rng)
+        values = [
+            BinLossTomo(1.0, tau).infer(m1, m2).x_c
+            for tau in (0.005, 0.02, 0.05, 0.1)
+        ]
+        assert max(values) - min(values) > 0.1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BinLossTomo(0.0, 0.05)
+        with pytest.raises(ValueError):
+            BinLossTomo(1.0, -0.1)
+
+
+class TestBinLossTomoPlusPlus:
+    def test_detects_common_bottleneck(self, rng):
+        m1, m2 = measurements_with_common_bottleneck(rng)
+        assert BinLossTomoPlusPlus(1.0, 0.02).detect(m1, m2)
+
+    def test_rejects_independent_loss(self, rng):
+        m1, m2 = measurements_with_independent_loss(rng)
+        assert not BinLossTomoPlusPlus(1.0, 0.02).detect(m1, m2)
+
+
+class TestBinLossTomoNoParams:
+    def test_detects_common_bottleneck(self, rng):
+        m1, m2 = measurements_with_common_bottleneck(rng)
+        assert BinLossTomoNoParams().detect(m1, m2)
+
+    def test_rejects_independent_loss(self, rng):
+        m1, m2 = measurements_with_independent_loss(rng)
+        assert not BinLossTomoNoParams().detect(m1, m2)
+
+    def test_threshold_grid_respects_band(self, rng):
+        m1, m2 = measurements_with_common_bottleneck(rng)
+        alg = BinLossTomoNoParams()
+        for tau in alg.candidate_thresholds(m1, m2, 1.0):
+            rates_1, rates_2 = path_loss_series(m1, m2, 1.0)
+            assert 0.1 <= np.mean(rates_1 <= tau) <= 0.9
+            assert 0.1 <= np.mean(rates_2 <= tau) <= 0.9
+
+    def test_gap_reporting(self, rng):
+        m1, m2 = measurements_with_common_bottleneck(rng)
+        detected, gaps_1, gaps_2 = BinLossTomoNoParams().detect(
+            m1, m2, return_gaps=True
+        )
+        assert detected == (gaps_1.mean() > 0 and gaps_2.mean() > 0)
+        assert len(gaps_1) == len(gaps_2)
+
+
+def measurements_with_shared_trend(rng, phase_2=0.0, duration=90.0, rtt=0.035):
+    """Smooth sinusoidal loss trend (V2's natural habitat)."""
+
+    def one_path(phase):
+        sends = np.sort(rng.uniform(0, duration, int(200 * duration)))
+        p = np.clip(0.04 * (1.0 + 0.9 * np.sin(2 * np.pi * sends / 10.0 + phase)), 0, 1)
+        lost = sends[rng.random(len(sends)) < p]
+        return PathMeasurements(sends, lost, rtt)
+
+    return one_path(0.0), one_path(phase_2)
+
+
+class TestTrendLossTomo:
+    def test_detects_shared_trend(self, rng):
+        m1, m2 = measurements_with_shared_trend(rng)
+        assert TrendLossTomo().detect(m1, m2)
+
+    def test_rejects_opposite_trend(self, rng):
+        m1, m2 = measurements_with_shared_trend(rng, phase_2=np.pi)
+        assert not TrendLossTomo().detect(m1, m2)
+
+
+class TestPacketPair:
+    def test_detects_tightly_coupled_loss(self, rng):
+        # Identical loss instants: the packet-level method's best case.
+        sends = np.sort(rng.uniform(0, 60, 12000))
+        lost = np.sort(rng.uniform(0, 60, 100))
+        m1 = PathMeasurements(sends, lost, rtt=0.035)
+        m2 = PathMeasurements(sends, lost + 0.001, rtt=0.035)
+        assert PacketPairCorrelation().detect(m1, m2)
+
+    def test_policer_style_alternating_loss_fails(self, rng):
+        # At a policer, co-arriving packets rarely both drop; the
+        # indicator series anticorrelate and detection fails (this is
+        # why the paper abandoned the approach).
+        sends = np.sort(rng.uniform(0, 60, 12000))
+        episodes = np.arange(0.5, 60, 1.0)
+        m1 = PathMeasurements(sends, episodes[::2], rtt=0.035)
+        m2 = PathMeasurements(sends, episodes[1::2], rtt=0.035)
+        assert not PacketPairCorrelation().detect(m1, m2)
+
+    def test_too_short_measurement(self, rng):
+        m = PathMeasurements([0.0, 0.01], [0.005], rtt=0.035)
+        assert not PacketPairCorrelation().detect(m, m)

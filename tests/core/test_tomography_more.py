@@ -1,0 +1,63 @@
+"""Tomography numerical-identity tests (System 1 algebra)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tomography import BinLossTomo, path_loss_series
+from repro.netsim.capture import PathMeasurements
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(47)
+
+
+def independent_binary_measurements(rng, p_lossy=0.3, duration=200.0):
+    """Paths whose per-interval lossy status is i.i.d. Bernoulli."""
+    out = []
+    for _ in range(2):
+        sends = np.arange(0, duration, 0.005)  # 200 pps, deterministic
+        lost = []
+        for start in np.arange(0, duration, 1.0):
+            if rng.random() < p_lossy:
+                # a dense loss burst in this interval
+                lost.extend(start + rng.uniform(0, 1.0, 30))
+        out.append(PathMeasurements(sends, np.sort(lost), 0.035))
+    return out
+
+
+class TestSystemOneAlgebra:
+    def test_independent_paths_blame_their_own_links(self, rng):
+        """With independent lossy intervals, y12 ~= y1*y2, so x_c ~= 1
+        and x_i ~= y_i: all blame lands on the non-common links."""
+        m1, m2 = independent_binary_measurements(rng)
+        result = BinLossTomo(interval=1.0, loss_threshold=0.05).infer(m1, m2)
+        assert result.x_c == pytest.approx(1.0, abs=0.12)
+        assert result.x_1 < 0.9
+        assert result.x_2 < 0.9
+
+    def test_fully_shared_loss_blames_common_link(self, rng):
+        """Identical loss timing: y1 = y2 = y12, so x_1 = x_2 = 1 and
+        x_c = y1 -- all blame on the common link."""
+        sends = np.arange(0, 200.0, 0.005)
+        lost = []
+        for start in np.arange(0, 200.0, 1.0):
+            if rng.random() < 0.3:
+                lost.extend(start + rng.uniform(0, 1.0, 30))
+        lost = np.sort(lost)
+        m1 = PathMeasurements(sends, lost, 0.035)
+        m2 = PathMeasurements(sends, lost + 1e-4, 0.035)
+        result = BinLossTomo(interval=1.0, loss_threshold=0.05).infer(m1, m2)
+        assert result.x_1 == pytest.approx(1.0, abs=0.05)
+        assert result.x_2 == pytest.approx(1.0, abs=0.05)
+        assert result.x_c < 0.85
+
+    def test_estimates_consistent_with_path_series(self, rng):
+        m1, m2 = independent_binary_measurements(rng)
+        rates_1, rates_2 = path_loss_series(m1, m2, 1.0)
+        result = BinLossTomo(interval=1.0, loss_threshold=0.05).infer(m1, m2)
+        y_1 = float(np.mean(rates_1 <= 0.05))
+        y_2 = float(np.mean(rates_2 <= 0.05))
+        # x_c * x_i must reconstruct y_i (System 1's first equations).
+        assert result.x_c * result.x_1 == pytest.approx(y_1, abs=1e-9)
+        assert result.x_c * result.x_2 == pytest.approx(y_2, abs=1e-9)

@@ -1,0 +1,51 @@
+"""The paper's stated limitations (Section 3.2), demonstrated.
+
+WeHeY can only localize differentiation that (a) involves a common
+bottleneck and (b) causes packet loss.  Deep shapers delay instead of
+dropping; per-flow policers have no common bottleneck.  Both must make
+the system answer "no evidence" -- which, per the paper, costs nothing
+relative to plain WeHe.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_detection_experiment
+from repro.experiments.scenarios import ScenarioConfig
+
+
+class TestDeepShaperLimitation:
+    @pytest.fixture(scope="class")
+    def record(self):
+        # A deep shaper: queue of 6x the burst absorbs arrival
+        # fluctuations as delay instead of loss.
+        config = ScenarioConfig(
+            app="zoom",
+            limiter="common",
+            input_rate_factor=1.3,
+            queue_factor=6.0,
+            duration=30.0,
+            seed=9,
+        )
+        return run_detection_experiment(config)
+
+    def test_shaper_causes_little_loss(self, record):
+        # Shallow-queue policers at the same load lose heavily; the
+        # deep shaper sheds load as queueing delay instead.
+        shallow = run_detection_experiment(
+            ScenarioConfig(
+                app="zoom",
+                limiter="common",
+                input_rate_factor=1.3,
+                queue_factor=0.25,
+                duration=30.0,
+                seed=9,
+            )
+        )
+        assert record.loss_rate_1 < shallow.loss_rate_1
+
+    def test_low_loss_starves_algorithm_one(self, record):
+        # With few loss events the correlation test has nothing to
+        # chew on; either verdict must come with scant intervals, and
+        # WeHe itself would not flag the low-loss replay.
+        if record.loss_rate_1 < 0.003:
+            assert not record.differentiation_visible

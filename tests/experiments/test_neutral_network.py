@@ -1,0 +1,43 @@
+"""Negative control: a neutral network must never be blamed.
+
+On a path with no differentiation device at all, WeHe's confirmation
+step must fail (original and bit-inverted replays perform alike) and
+WeHeY must output "no evidence" -- regardless of background noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.localizer import LocalizationOutcome, WeHeYLocalizer
+from repro.experiments.runner import NetsimReplayService
+from repro.experiments.scenarios import ScenarioConfig
+from repro.wehe.apps import make_trace
+from repro.wehe.traces import bit_invert
+
+
+@pytest.fixture(scope="module")
+def neutral_report():
+    config = ScenarioConfig(app="zoom", limiter=None, duration=25.0, seed=21)
+    service = NetsimReplayService(config)
+    trace = make_trace("zoom", 25.0, service._trace_rng)
+    tdiff = np.random.default_rng(4).normal(0.0, 0.08, 80)
+    localizer = WeHeYLocalizer(np.random.default_rng(2), tdiff)
+    return localizer.localize(service, trace, bit_invert(trace))
+
+
+class TestNeutralNetwork:
+    def test_no_evidence(self, neutral_report):
+        assert neutral_report.outcome is LocalizationOutcome.NO_EVIDENCE
+
+    def test_confirmation_gate_fired(self, neutral_report):
+        # Original and inverted replays perform alike on a neutral
+        # path, so the pipeline stops at confirmation.
+        assert not (
+            neutral_report.confirmation_1.differentiated
+            and neutral_report.confirmation_2.differentiated
+        )
+        assert "not confirmed" in neutral_report.reason
+
+    def test_no_detectors_ran(self, neutral_report):
+        assert neutral_report.throughput_result is None
+        assert neutral_report.loss_result is None

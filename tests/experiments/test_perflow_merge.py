@@ -1,0 +1,49 @@
+"""Integration tests for the per-flow limiter scenario (Section 7)."""
+
+import pytest
+
+from repro.experiments.runner import NetsimReplayService, run_detection_experiment
+from repro.experiments.scenarios import ScenarioConfig
+from repro.wehe.apps import make_trace
+
+
+@pytest.fixture(scope="module")
+def records():
+    """One unmerged and one merged per-flow experiment (shared setup)."""
+    config = ScenarioConfig(app="zoom", limiter="perflow", duration=30.0, seed=2)
+    unmerged = run_detection_experiment(config, merge_flows=False)
+    merged = run_detection_experiment(config, merge_flows=True)
+    return unmerged, merged
+
+
+class TestPerFlowScenario:
+    def test_unmerged_replays_use_separate_buckets(self, records):
+        unmerged, _ = records
+        # Each flow gets its own policer sized below its demand: both
+        # lose, but loss trends are per-flow and Alg. 1 finds nothing.
+        assert unmerged.loss_rate_1 > 0.02
+        assert unmerged.loss_rate_2 > 0.02
+        assert not unmerged.verdicts["loss_trend"]
+
+    def test_merged_replays_share_one_bucket(self, records):
+        _, merged = records
+        # Two flows in one bucket sized for one: loss roughly doubles.
+        assert merged.loss_rate_1 > records[0].loss_rate_1
+
+    def test_merged_flow_ids_identical(self):
+        config = ScenarioConfig(app="zoom", limiter="perflow", duration=10.0, seed=3)
+        service = NetsimReplayService(config, merge_flows=True)
+        trace = make_trace("zoom", 10.0, service._trace_rng)
+        result = service.simultaneous_replay(trace)
+        # Both paths lost packets to the *same* bucket; the qdisc saw
+        # exactly one throttled flow.
+        # (Indirect check: with separate buckets each flow would lose
+        # ~the same modest amount; sharing one doubles pressure.)
+        assert result.measurements_1.packets_lost > 0
+        assert result.measurements_2.packets_lost > 0
+
+    def test_perflow_rate_is_per_flow(self):
+        config = ScenarioConfig(app="zoom", limiter="perflow")
+        assert config.limiter_rate_bps == pytest.approx(
+            config.replay_rate_bps / config.input_rate_factor
+        )

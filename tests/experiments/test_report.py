@@ -1,0 +1,55 @@
+"""Experiment-report tests."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import ExperimentSummary
+from repro.experiments.runner import DetectionExperimentRecord
+from repro.experiments.scenarios import ScenarioConfig
+
+
+def record(detected=True, visible=True, retx=0.05):
+    return DetectionExperimentRecord(
+        config=ScenarioConfig(app="zoom", seed=1),
+        verdicts={"loss_trend": detected},
+        retx_rate=retx,
+        queuing_delay=0.005,
+        loss_rate_1=0.04,
+        loss_rate_2=0.03,
+        differentiation_visible=visible,
+    )
+
+
+class TestExperimentSummary:
+    def test_detection_rate_over_visible_only(self):
+        summary = ExperimentSummary("t")
+        summary.add(record(detected=True))
+        summary.add(record(detected=False))
+        summary.add(record(detected=True, visible=False))  # excluded
+        assert summary.detection_rate() == 0.5
+        assert len(summary) == 3
+
+    def test_empty_summary(self):
+        summary = ExperimentSummary("t")
+        assert summary.detection_rate() == 0.0
+        assert summary.mean_retx_rate() == 0.0
+
+    def test_json_round_trip(self, tmp_path):
+        summary = ExperimentSummary("t")
+        summary.add(record())
+        path = tmp_path / "summary.json"
+        summary.to_json(path)
+        data = json.loads(path.read_text())
+        assert data["name"] == "t"
+        assert data["n"] == 1
+        assert data["records"][0]["verdicts"]["loss_trend"] is True
+        assert data["records"][0]["config"]["app"] == "zoom"
+
+    def test_text_format(self):
+        summary = ExperimentSummary("fp-sweep")
+        summary.add(record(detected=False, retx=0.1))
+        text = summary.format_text()
+        assert "fp-sweep" in text
+        assert "loss_trend" in text
+        assert "0.100" in text

@@ -1,0 +1,36 @@
+"""Report module over real experiment records."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import ExperimentSummary
+from repro.experiments.runner import run_detection_experiment
+from repro.experiments.scenarios import ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def summary():
+    result = ExperimentSummary("integration")
+    for seed in (0, 1):
+        record = run_detection_experiment(
+            ScenarioConfig(app="zoom", limiter="common", duration=15.0, seed=seed)
+        )
+        result.add(record)
+    return result
+
+
+class TestReportIntegration:
+    def test_summary_counts(self, summary):
+        assert len(summary) == 2
+
+    def test_json_contains_full_config(self, summary):
+        data = json.loads(summary.to_json())
+        config = data["records"][0]["config"]
+        assert config["app"] == "zoom"
+        assert config["limiter"] == "common"
+        assert "input_rate_factor" in config
+
+    def test_text_summary_renders(self, summary):
+        text = summary.format_text()
+        assert "integration: 2 experiments" in text

@@ -1,0 +1,73 @@
+"""Wild-ISP model tests (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.wild import (
+    WILD_ISPS,
+    DelayedTriggerClassifier,
+    WildReplayService,
+    default_tdiff,
+    run_wild_test,
+)
+from repro.netsim.packet import DATA, Packet
+from repro.wehe.apps import make_trace
+
+
+class TestDelayedTriggerClassifier:
+    def _packet(self, size=1500, dscp=1):
+        return Packet("f", DATA, 0, size, dscp=dscp)
+
+    def test_does_not_throttle_before_trigger(self):
+        classifier = DelayedTriggerClassifier(10_000)
+        assert not classifier(self._packet(4000))
+        assert not classifier(self._packet(4000))
+
+    def test_throttles_after_trigger(self):
+        classifier = DelayedTriggerClassifier(10_000)
+        for _ in range(3):
+            classifier(self._packet(4000))
+        assert classifier(self._packet(100))
+        assert classifier.tripped
+
+    def test_unmarked_traffic_never_counted(self):
+        classifier = DelayedTriggerClassifier(1000)
+        for _ in range(10):
+            assert not classifier(self._packet(4000, dscp=0))
+        assert not classifier.tripped
+
+    def test_zero_trigger_is_always_on(self):
+        classifier = DelayedTriggerClassifier(0)
+        assert classifier(self._packet())
+
+
+class TestWildService:
+    def test_isp5_simultaneous_trips_earlier(self):
+        """The Figure-4 mechanism: two concurrent streams reach the
+        data-volume criterion roughly twice as fast."""
+        isp = WILD_ISPS["ISP5"]
+        service = WildReplayService(isp, "netflix", seed=5, duration=40.0)
+        trace = make_trace("netflix", 40.0, service._trace_rng)
+        x = service.single_replay(trace)
+        sim = service.simultaneous_replay(trace)
+        # Post-trigger the single replay still has untripped early
+        # samples; compare early-window means.
+        early_single = x[:20].mean()
+        early_sim = (sim.samples_1[:20] + sim.samples_2[:20]).mean()
+        late_single = x[-20:].mean()
+        assert early_single > late_single  # throttling engaged eventually
+        assert early_sim < 2.2 * early_single  # sim trips earlier, so less headroom
+
+    def test_basic_test_localizes(self):
+        report = run_wild_test("ISP3", app="youtube", seed=2)
+        assert report.localized
+
+    def test_sanity_check_does_not_localize(self):
+        report = run_wild_test("ISP2", app="netflix", seed=2, sanity_check=True)
+        assert not report.localized
+
+    def test_default_tdiff_cached(self):
+        a = default_tdiff()
+        b = default_tdiff()
+        assert a is b
+        assert len(a) > 20

@@ -1,0 +1,37 @@
+"""Wild ISP model-catalogue sanity tests."""
+
+import pytest
+
+from repro.experiments.wild import WILD_ISPS, IspModel
+
+
+class TestIspCatalogue:
+    def test_five_isps_modelled(self):
+        assert len(WILD_ISPS) == 5
+        assert set(WILD_ISPS) == {"ISP1", "ISP2", "ISP3", "ISP4", "ISP5"}
+
+    def test_only_isp5_has_delayed_trigger(self):
+        for name, model in WILD_ISPS.items():
+            if name == "ISP5":
+                assert model.trigger_bytes is not None
+                assert model.trigger_jitter > 0
+            else:
+                assert model.trigger_bytes is None
+
+    def test_throttle_rates_are_video_tier(self):
+        # "DVD quality (480p)"-style plans: single-digit Mb/s.
+        for model in WILD_ISPS.values():
+            assert 1e6 <= model.throttle_rate_bps <= 10e6
+
+    def test_rtts_are_cellular(self):
+        for model in WILD_ISPS.values():
+            assert 0.02 <= model.rtt <= 0.2
+
+    def test_queue_factors_span_policing_and_shaping(self):
+        factors = {model.queue_factor for model in WILD_ISPS.values()}
+        assert min(factors) <= 0.25  # policer-like
+        assert max(factors) >= 1.0  # shaper-like
+
+    def test_model_is_frozen(self):
+        with pytest.raises(AttributeError):
+            WILD_ISPS["ISP1"].rtt = 0.5

@@ -1,0 +1,62 @@
+"""Topology-verification (Section 3.4 step 4) tests."""
+
+import numpy as np
+import pytest
+
+from repro.mlab.annotations import AnnotationDatabase
+from repro.mlab.internet import SyntheticInternet
+from repro.mlab.topology_construction import TopologyConstructor
+from repro.mlab.traceroute import collect_month
+from repro.mlab.verification import TopologyVerifier
+
+
+@pytest.fixture
+def setup():
+    rng = np.random.default_rng(33)
+    internet = SyntheticInternet(
+        rng, icmp_block_fraction=0.0, alias_fraction=0.0
+    )
+    annotations = AnnotationDatabase(internet)
+    records = collect_month(internet, rng, tests_per_client=len(internet.servers))
+    database = TopologyConstructor(annotations).build(records)
+    # Pick any client with a suitable topology.
+    for client in internet.clients:
+        entries = database.lookup(client.ip, client.asn)
+        if entries:
+            return internet, annotations, rng, client, entries[0]
+    pytest.fail("no suitable topology in the fixture internet")
+
+
+class TestTopologyVerifier:
+    def test_stable_routes_verify(self, setup):
+        internet, annotations, rng, client, entry = setup
+        verifier = TopologyVerifier(internet, annotations, rng)
+        assert verifier.verify(entry, client.name)
+
+    def test_verification_is_repeatable(self, setup):
+        internet, annotations, rng, client, entry = setup
+        verifier = TopologyVerifier(internet, annotations, rng)
+        assert all(verifier.verify(entry, client.name) for _ in range(3))
+
+    def test_route_changes_eventually_invalidate(self, setup):
+        internet, annotations, rng, client, entry = setup
+        verifier = TopologyVerifier(
+            internet, annotations, rng, route_change_probability=1.0
+        )
+        # With constant churn, some verification within a few tries
+        # must fail (the pair may converge elsewhere or share nothing).
+        outcomes = [verifier.verify(entry, client.name) for _ in range(10)]
+        assert not all(outcomes)
+
+    def test_unknown_server_fails_closed(self, setup):
+        internet, annotations, rng, client, entry = setup
+        from dataclasses import replace
+
+        broken = replace(entry, server_pair=("ghost-1", "ghost-2"))
+        verifier = TopologyVerifier(internet, annotations, rng)
+        assert not verifier.verify(broken, client.name)
+
+    def test_rejects_bad_probability(self, setup):
+        internet, annotations, rng, _, _ = setup
+        with pytest.raises(ValueError):
+            TopologyVerifier(internet, annotations, rng, route_change_probability=2.0)

@@ -1,0 +1,110 @@
+"""Tests for the Section-7 extensions: BBR sender and per-flow limiter."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.bbr import BbrSender
+from repro.netsim.capture import FlowCapture
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.packet import DATA, Packet
+from repro.netsim.path import DirectPath, Path
+from repro.netsim.per_flow import PerFlowQdisc, make_per_flow_limiter
+from repro.netsim.tcp import TcpReceiver
+from repro.netsim.token_bucket import make_rate_limiter
+
+
+def run_bbr(limiter_rate, stop_at=20.0):
+    sim = Simulator()
+    qdisc = make_rate_limiter(limiter_rate, 0.035, 0.5)
+    link = Link(sim, "lc", 100e6, 0.005, qdisc)
+    capture = FlowCapture()
+    receiver = TcpReceiver(sim, "f", capture)
+    path = Path([link], receiver)
+    reverse = DirectPath(sim, 0.0125, None)
+    sender = BbrSender(sim, "f", path, receiver, reverse, dscp=1, stop_at=stop_at)
+    reverse.sink = sender
+    sim.run(until=stop_at + 1)
+    return sender, capture
+
+
+class TestBbrSender:
+    def test_uses_a_good_share_of_the_limiter(self):
+        sender, capture = run_bbr(4e6)
+        assert capture.mean_throughput() > 0.4 * 4e6
+
+    def test_does_not_exceed_the_limiter(self):
+        sender, capture = run_bbr(4e6)
+        assert capture.mean_throughput() < 4.4e6
+
+    def test_loss_does_not_collapse_the_window(self):
+        sender, _ = run_bbr(4e6)
+        # BBR ignores loss: the window stays near 2 x BDP, not 1-2.
+        assert sender.retransmission_rate > 0
+        assert sender.cwnd >= 4.0
+
+    def test_reaches_probe_phase(self):
+        sender, _ = run_bbr(8e6)
+        assert sender._phase == "probe"
+        assert sender._btl_bw > 0
+
+
+def flow_packet(flow, size=1500, dscp=1):
+    return Packet(flow, DATA, 0, size, dscp=dscp)
+
+
+class TestPerFlowQdisc:
+    def test_each_flow_gets_its_own_bucket(self):
+        qdisc = PerFlowQdisc(8e6, 10_000, 50_000)
+        qdisc.enqueue(flow_packet("a"), 0.0)
+        qdisc.enqueue(flow_packet("b"), 0.0)
+        assert qdisc.n_flows == 2
+
+    def test_shared_flow_id_shares_a_bucket(self):
+        qdisc = PerFlowQdisc(8e6, 10_000, 50_000)
+        qdisc.enqueue(flow_packet("merged"), 0.0)
+        qdisc.enqueue(flow_packet("merged"), 0.0)
+        assert qdisc.n_flows == 1
+
+    def test_unmarked_traffic_goes_to_fifo(self):
+        qdisc = PerFlowQdisc(8e6, 10_000, 50_000)
+        qdisc.enqueue(flow_packet("a", dscp=0), 0.0)
+        assert qdisc.n_flows == 0
+        assert len(qdisc.fifo) == 1
+
+    def test_flows_isolated_token_wise(self):
+        # Flow "a" drains its bucket; flow "b" still has a full one.
+        qdisc = PerFlowQdisc(8000.0, 1500, 50_000)
+        qdisc.enqueue(flow_packet("a"), 0.0)
+        got, _ = qdisc.dequeue(0.0)
+        assert got is not None and got.flow_id == "a"
+        qdisc.enqueue(flow_packet("a"), 0.0)
+        qdisc.enqueue(flow_packet("b"), 0.0)
+        got, _ = qdisc.dequeue(0.0)
+        assert got is not None and got.flow_id == "b"
+        got, wake = qdisc.dequeue(0.0)
+        assert got is None and wake is not None
+
+    def test_round_robin_across_flows(self):
+        qdisc = PerFlowQdisc(80e6, 100_000, 500_000)
+        for i in range(2):
+            qdisc.enqueue(flow_packet("a"), 0.0)
+            qdisc.enqueue(flow_packet("b"), 0.0)
+        order = [qdisc.dequeue(0.0)[0].flow_id for _ in range(4)]
+        assert order in (["a", "b", "a", "b"], ["b", "a", "b", "a"])
+
+    def test_drop_accounting(self):
+        qdisc = PerFlowQdisc(8000.0, 1500, 1500)
+        qdisc.enqueue(flow_packet("a"), 0.0)
+        qdisc.enqueue(flow_packet("a"), 0.0)  # queue full -> drop
+        assert qdisc.drops == 1
+
+    def test_factory_applies_burst_rule(self):
+        qdisc = make_per_flow_limiter(8e6, 0.05)
+        qdisc.enqueue(flow_packet("x"), 0.0)
+        bucket = qdisc._flows["x"]
+        assert bucket.burst_bytes == int(8e6 * 0.05 / 8.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PerFlowQdisc(0, 1000, 1000)

@@ -1,0 +1,33 @@
+"""Packet model tests."""
+
+import pytest
+
+from repro.netsim.packet import ACK, ACK_BYTES, DATA, HEADER_BYTES, Packet
+
+
+class TestPacket:
+    def test_defaults(self):
+        packet = Packet("f", DATA, 0, 1500)
+        assert packet.dscp == 0
+        assert not packet.is_retx
+        assert packet.sack is None
+        assert packet.hop == 0
+
+    def test_repr_is_informative(self):
+        packet = Packet("flow-9", DATA, 1448, 1500, dscp=1)
+        text = repr(packet)
+        assert "flow-9" in text
+        assert "DATA" in text
+        assert "dscp=1" in text
+
+    def test_ack_repr(self):
+        assert "ACK" in repr(Packet("f", ACK, 0, ACK_BYTES))
+
+    def test_slots_prevent_arbitrary_attributes(self):
+        packet = Packet("f", DATA, 0, 100)
+        with pytest.raises(AttributeError):
+            packet.color = "blue"
+
+    def test_header_constants_sane(self):
+        assert HEADER_BYTES > 0
+        assert ACK_BYTES > 0

@@ -1,0 +1,33 @@
+"""Consistency between the stats layer and WeHe's detection pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.stats.empirical import ecdf, ecdf_at
+from repro.wehe.detection import area_test_statistic
+from repro.stats.ks import ks_2samp
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(53)
+
+
+class TestConsistency:
+    def test_ks_statistic_is_max_ecdf_gap(self, rng):
+        x = rng.normal(0, 1, 60)
+        y = rng.normal(0.5, 1, 80)
+        grid = np.concatenate([x, y])
+        gap = np.max(np.abs(ecdf_at(x, grid) - ecdf_at(y, grid)))
+        assert ks_2samp(x, y).statistic == pytest.approx(gap)
+
+    def test_area_statistic_bounded_by_ks(self, rng):
+        # The mean CDF gap can never exceed the max CDF gap.
+        x = rng.normal(0, 1, 60)
+        y = rng.normal(1.0, 1, 60)
+        assert area_test_statistic(x, y) <= ks_2samp(x, y).statistic + 1e-12
+
+    def test_ecdf_at_agrees_with_ecdf(self, rng):
+        samples = rng.uniform(0, 10, 40)
+        xs, ps = ecdf(samples)
+        np.testing.assert_allclose(ecdf_at(samples, xs), ps)

@@ -1,0 +1,115 @@
+"""ECDF, Monte-Carlo subsampling, and bootstrap tests."""
+
+import numpy as np
+import pytest
+
+from repro.stats.bootstrap import bootstrap_ci, jackknife
+from repro.stats.empirical import ecdf, ecdf_at, quantile, summarize
+from repro.stats.montecarlo import (
+    relative_mean_difference,
+    relative_mean_difference_distribution,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestEcdf:
+    def test_monotone_and_bounded(self, rng):
+        xs, ps = ecdf(rng.normal(0, 1, 100))
+        assert np.all(np.diff(ps) > 0) or len(ps) == 1
+        assert ps[-1] == pytest.approx(1.0)
+        assert ps[0] > 0.0
+
+    def test_duplicates_collapse(self):
+        xs, ps = ecdf([1, 1, 2, 3, 3, 3])
+        np.testing.assert_allclose(xs, [1, 2, 3])
+        np.testing.assert_allclose(ps, [2 / 6, 3 / 6, 1.0])
+
+    def test_ecdf_at_points(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert ecdf_at(samples, 2.5) == 0.5
+        assert ecdf_at(samples, 0.0) == 0.0
+        assert ecdf_at(samples, 4.0) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+
+    def test_quantile(self):
+        assert quantile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_summarize_fields(self, rng):
+        stats = summarize(rng.uniform(0, 10, 50))
+        assert stats["min"] <= stats["q1"] <= stats["median"]
+        assert stats["median"] <= stats["q3"] <= stats["max"]
+        assert stats["n"] == 50
+
+
+class TestRelativeMeanDifference:
+    def test_sign_convention(self):
+        assert relative_mean_difference([10.0], [5.0]) == pytest.approx(0.5)
+        assert relative_mean_difference([5.0], [10.0]) == pytest.approx(-0.5)
+
+    def test_equal_means_zero(self):
+        assert relative_mean_difference([3.0, 5.0], [4.0, 4.0]) == 0.0
+
+    def test_zero_denominator(self):
+        assert relative_mean_difference([0.0], [0.0]) == 0.0
+
+    def test_bounded_by_one(self, rng):
+        for _ in range(20):
+            x = rng.uniform(0, 100, 10)
+            y = rng.uniform(0, 100, 10)
+            assert abs(relative_mean_difference(x, y)) <= 1.0
+
+
+class TestOdiffDistribution:
+    def test_size_matches_iterations(self, rng):
+        x = rng.uniform(5, 10, 40)
+        y = rng.uniform(5, 10, 40)
+        values = relative_mean_difference_distribution(x, y, 57, rng)
+        assert len(values) == 57
+
+    def test_identical_inputs_centre_near_zero(self, rng):
+        x = rng.uniform(5, 10, 200)
+        values = relative_mean_difference_distribution(x, x, 300, rng)
+        assert abs(np.mean(values)) < 0.05
+
+    def test_disjoint_inputs_large_difference(self, rng):
+        x = rng.uniform(9, 10, 50)
+        y = rng.uniform(1, 2, 50)
+        values = relative_mean_difference_distribution(x, y, 100, rng)
+        assert np.min(values) > 0.7
+
+    def test_rejects_tiny_samples(self, rng):
+        with pytest.raises(ValueError):
+            relative_mean_difference_distribution([1.0], [1.0, 2.0], 10, rng)
+
+    def test_rejects_zero_iterations(self, rng):
+        with pytest.raises(ValueError):
+            relative_mean_difference_distribution([1.0, 2.0], [1.0, 2.0], 0, rng)
+
+
+class TestResampling:
+    def test_jackknife_mean_is_unbiased(self, rng):
+        samples = rng.normal(5, 1, 60)
+        estimate, stderr = jackknife(samples, np.mean)
+        assert estimate == pytest.approx(np.mean(samples), rel=1e-10)
+        assert stderr == pytest.approx(np.std(samples, ddof=1) / np.sqrt(60), rel=1e-6)
+
+    def test_jackknife_needs_two(self):
+        with pytest.raises(ValueError):
+            jackknife([1.0], np.mean)
+
+    def test_bootstrap_ci_contains_truth_usually(self, rng):
+        samples = rng.normal(10, 2, 100)
+        low, high = bootstrap_ci(samples, np.mean, 500, rng)
+        assert low < 10.5 and high > 9.5
+        assert low < high
+
+    def test_bootstrap_rejects_bad_confidence(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], np.mean, 10, rng, confidence=1.5)

@@ -1,0 +1,66 @@
+"""Additional statistics cross-checks (ties, extremes, consistency)."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.stats.ks import ks_2samp
+from repro.stats.mwu import mann_whitney_u
+from repro.stats.spearman import spearman_test
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(88)
+
+
+class TestSpearmanWithTies:
+    def test_heavily_tied_series_match_scipy(self, rng):
+        x = rng.integers(0, 3, 40).astype(float)
+        y = rng.integers(0, 3, 40).astype(float)
+        ours = spearman_test(x, y, alternative="two-sided")
+        rho, p = scipy.stats.spearmanr(x, y)
+        assert ours.rho == pytest.approx(rho, abs=1e-10)
+        assert ours.pvalue == pytest.approx(p, rel=1e-5)
+
+    def test_zero_inflated_loss_series(self, rng):
+        # The shape Algorithm 1 actually sees: many zeros, few values.
+        x = np.where(rng.random(60) < 0.7, 0.0, rng.random(60))
+        y = np.where(rng.random(60) < 0.7, 0.0, rng.random(60))
+        ours = spearman_test(x, y, alternative="greater")
+        theirs = scipy.stats.spearmanr(x, y, alternative="greater")
+        assert ours.pvalue == pytest.approx(theirs.pvalue, rel=1e-4, abs=1e-8)
+
+
+class TestKsConsistency:
+    def test_more_data_sharpens_significance(self, rng):
+        small_x, small_y = rng.normal(0, 1, 30), rng.normal(0.5, 1, 30)
+        big_x, big_y = rng.normal(0, 1, 300), rng.normal(0.5, 1, 300)
+        assert ks_2samp(big_x, big_y).pvalue < ks_2samp(small_x, small_y).pvalue
+
+    def test_statistic_symmetry(self, rng):
+        x, y = rng.normal(0, 1, 50), rng.normal(0.3, 1, 70)
+        assert ks_2samp(x, y).statistic == ks_2samp(y, x).statistic
+
+
+class TestMwuConsistency:
+    def test_less_and_greater_are_complementary(self, rng):
+        x, y = rng.normal(0, 1, 40), rng.normal(0.2, 1, 40)
+        less = mann_whitney_u(x, y, alternative="less").pvalue
+        greater = mann_whitney_u(x, y, alternative="greater").pvalue
+        # With the continuity correction the sum is within a hair of 1.
+        assert less + greater == pytest.approx(1.0, abs=0.02)
+
+    def test_shift_monotonicity(self, rng):
+        x = rng.normal(0, 1, 50)
+        p_small_shift = mann_whitney_u(x, x + 0.2, alternative="less").pvalue
+        p_big_shift = mann_whitney_u(x, x + 2.0, alternative="less").pvalue
+        assert p_big_shift < p_small_shift
+
+    def test_two_sided_matches_scipy(self, rng):
+        x, y = rng.normal(0, 1, 45), rng.normal(0.4, 1, 55)
+        ours = mann_whitney_u(x, y, alternative="two-sided")
+        theirs = scipy.stats.mannwhitneyu(
+            x, y, alternative="two-sided", method="asymptotic"
+        )
+        assert ours.pvalue == pytest.approx(theirs.pvalue, rel=5e-3)

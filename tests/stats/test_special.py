@@ -1,0 +1,87 @@
+"""Cross-checks of the from-scratch special functions against scipy."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.special
+import scipy.stats
+
+from repro.stats.special import (
+    betainc,
+    kolmogorov_sf,
+    log_gamma,
+    normal_sf,
+    t_sf,
+)
+
+
+class TestNormalSf:
+    def test_matches_scipy(self):
+        for z in (-3.0, -1.0, 0.0, 0.5, 1.96, 4.0):
+            assert normal_sf(z) == pytest.approx(scipy.stats.norm.sf(z), rel=1e-10)
+
+    def test_symmetry(self):
+        assert normal_sf(1.5) + normal_sf(-1.5) == pytest.approx(1.0)
+
+    def test_at_zero(self):
+        assert normal_sf(0.0) == pytest.approx(0.5)
+
+
+class TestLogGamma:
+    def test_matches_scipy(self):
+        for x in (0.5, 1.0, 2.5, 10.0, 100.5):
+            assert log_gamma(x) == pytest.approx(scipy.special.gammaln(x), rel=1e-9)
+
+    def test_factorial_identity(self):
+        assert log_gamma(6.0) == pytest.approx(math.log(120.0), rel=1e-10)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_gamma(0.0)
+
+
+class TestBetainc:
+    @pytest.mark.parametrize("a,b", [(0.5, 0.5), (2.0, 3.0), (10.0, 1.0), (5.5, 7.5)])
+    def test_matches_scipy(self, a, b):
+        for x in (0.01, 0.25, 0.5, 0.75, 0.99):
+            assert betainc(a, b, x) == pytest.approx(
+                scipy.special.betainc(a, b, x), rel=1e-8, abs=1e-12
+            )
+
+    def test_boundaries(self):
+        assert betainc(2.0, 3.0, 0.0) == 0.0
+        assert betainc(2.0, 3.0, 1.0) == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            betainc(1.0, 1.0, 1.5)
+
+
+class TestTSf:
+    @pytest.mark.parametrize("df", [1, 2, 5, 10, 30, 100])
+    def test_matches_scipy(self, df):
+        for t in (-4.0, -1.0, 0.0, 0.5, 2.0, 6.0):
+            assert t_sf(t, df) == pytest.approx(
+                scipy.stats.t.sf(t, df), rel=1e-7, abs=1e-10
+            )
+
+    def test_symmetry(self):
+        assert t_sf(1.3, 7) + t_sf(-1.3, 7) == pytest.approx(1.0)
+
+    def test_rejects_bad_df(self):
+        with pytest.raises(ValueError):
+            t_sf(1.0, 0)
+
+
+class TestKolmogorovSf:
+    def test_matches_scipy(self):
+        for x in (0.3, 0.5, 1.0, 1.5, 2.0):
+            assert kolmogorov_sf(x) == pytest.approx(
+                scipy.special.kolmogorov(x), rel=1e-8, abs=1e-12
+            )
+
+    def test_extremes(self):
+        assert kolmogorov_sf(0.0) == 1.0
+        assert kolmogorov_sf(-1.0) == 1.0
+        assert kolmogorov_sf(10.0) == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,139 @@
+"""KS / MWU / Spearman cross-checks against scipy and behaviour tests."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.stats.ks import ks_2samp
+from repro.stats.mwu import mann_whitney_u
+from repro.stats.spearman import rankdata, spearman_rho, spearman_test
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestKs2Samp:
+    def test_statistic_matches_scipy(self, rng):
+        x = rng.normal(0, 1, 80)
+        y = rng.normal(0.5, 1, 120)
+        ours = ks_2samp(x, y)
+        theirs = scipy.stats.ks_2samp(x, y, method="asymp")
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-12)
+
+    def test_pvalue_close_to_scipy(self, rng):
+        x = rng.normal(0, 1, 100)
+        y = rng.normal(0.8, 1, 100)
+        ours = ks_2samp(x, y)
+        theirs = scipy.stats.ks_2samp(x, y, method="asymp")
+        # Numerical Recipes correction differs slightly from scipy's
+        # asymptotic formula; same order of magnitude is expected.
+        assert ours.pvalue == pytest.approx(theirs.pvalue, rel=0.5, abs=1e-6)
+
+    def test_identical_samples_not_significant(self, rng):
+        x = rng.uniform(0, 1, 200)
+        assert not ks_2samp(x, x).significant()
+
+    def test_disjoint_samples_significant(self):
+        assert ks_2samp(np.arange(50), np.arange(100, 150)).significant()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ks_2samp([], [1.0])
+
+
+class TestMannWhitneyU:
+    def test_matches_scipy_less(self, rng):
+        x = rng.normal(0, 1, 60)
+        y = rng.normal(0.3, 1, 70)
+        ours = mann_whitney_u(x, y, alternative="less")
+        theirs = scipy.stats.mannwhitneyu(x, y, alternative="less", method="asymptotic")
+        assert ours.u_statistic == pytest.approx(theirs.statistic)
+        assert ours.pvalue == pytest.approx(theirs.pvalue, rel=1e-3)
+
+    def test_matches_scipy_greater(self, rng):
+        x = rng.normal(0.5, 1, 50)
+        y = rng.normal(0, 1, 50)
+        ours = mann_whitney_u(x, y, alternative="greater")
+        theirs = scipy.stats.mannwhitneyu(
+            x, y, alternative="greater", method="asymptotic"
+        )
+        assert ours.pvalue == pytest.approx(theirs.pvalue, rel=1e-3)
+
+    def test_matches_scipy_with_ties(self, rng):
+        x = rng.integers(0, 5, 80).astype(float)
+        y = rng.integers(1, 6, 80).astype(float)
+        ours = mann_whitney_u(x, y, alternative="less")
+        theirs = scipy.stats.mannwhitneyu(x, y, alternative="less", method="asymptotic")
+        assert ours.pvalue == pytest.approx(theirs.pvalue, rel=1e-3)
+
+    def test_clearly_smaller_sample_is_significant(self, rng):
+        small = rng.uniform(0, 0.1, 50)
+        large = rng.uniform(0.5, 1.0, 50)
+        assert mann_whitney_u(small, large, alternative="less").significant()
+
+    def test_identical_constant_samples(self):
+        result = mann_whitney_u([1.0] * 10, [1.0] * 10)
+        assert result.pvalue == 1.0
+
+    def test_rejects_unknown_alternative(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([1.0], [2.0], alternative="sideways")
+
+
+class TestRankdata:
+    def test_matches_scipy(self, rng):
+        x = rng.integers(0, 10, 50).astype(float)
+        np.testing.assert_allclose(rankdata(x), scipy.stats.rankdata(x))
+
+    def test_simple_ranks(self):
+        np.testing.assert_allclose(rankdata([30, 10, 20]), [3, 1, 2])
+
+    def test_tie_averaging(self):
+        np.testing.assert_allclose(rankdata([1, 2, 2, 3]), [1, 2.5, 2.5, 4])
+
+
+class TestSpearman:
+    def test_rho_matches_scipy(self, rng):
+        x = rng.normal(0, 1, 40)
+        y = x + rng.normal(0, 0.5, 40)
+        ours = spearman_rho(x, y)
+        theirs, _ = scipy.stats.spearmanr(x, y)
+        assert ours == pytest.approx(theirs, rel=1e-10)
+
+    def test_pvalue_matches_scipy_two_sided(self, rng):
+        x = rng.normal(0, 1, 35)
+        y = x + rng.normal(0, 1.5, 35)
+        ours = spearman_test(x, y, alternative="two-sided")
+        theirs = scipy.stats.spearmanr(x, y)
+        assert ours.pvalue == pytest.approx(theirs.pvalue, rel=1e-6)
+
+    def test_pvalue_matches_scipy_greater(self, rng):
+        x = rng.normal(0, 1, 30)
+        y = 0.4 * x + rng.normal(0, 1, 30)
+        ours = spearman_test(x, y, alternative="greater")
+        theirs = scipy.stats.spearmanr(x, y, alternative="greater")
+        assert ours.pvalue == pytest.approx(theirs.pvalue, rel=1e-6)
+
+    def test_monotone_transform_invariance(self, rng):
+        x = rng.uniform(1, 10, 25)
+        y = rng.uniform(1, 10, 25)
+        rho = spearman_rho(x, y)
+        assert spearman_rho(np.log(x), y) == pytest.approx(rho)
+        assert spearman_rho(x**3, y) == pytest.approx(rho)
+
+    def test_perfect_correlation(self):
+        x = np.arange(10.0)
+        assert spearman_rho(x, 2 * x + 1) == pytest.approx(1.0)
+        assert spearman_rho(x, -x) == pytest.approx(-1.0)
+
+    def test_short_series_inconclusive(self):
+        assert spearman_test([1.0, 2.0], [1.0, 2.0]).pvalue == 1.0
+
+    def test_constant_series_no_trend(self):
+        assert spearman_rho([1, 1, 1, 1], [1, 2, 3, 4]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman_rho([1, 2], [1, 2, 3])

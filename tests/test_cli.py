@@ -1,0 +1,55 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_localize_defaults(self):
+        args = build_parser().parse_args(["localize"])
+        assert args.app == "netflix"
+        assert args.limiter == "common"
+        assert not args.merge_flows
+
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "--limiter", "noncommon", "--seeds", "3", "--app", "zoom"]
+        )
+        assert args.seeds == 3
+        assert args.limiter == "noncommon"
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["localize", "--app", "geocities"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_topology_command_runs(self, capsys):
+        code = main(["topology", "--isps", "4", "--clients", "3", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "complete fraction" in out
+        assert "topology-db entries" in out
+
+    def test_localize_command_detects_common_limiter(self, capsys):
+        code = main(
+            ["localize", "--app", "zoom", "--limiter", "common",
+             "--duration", "30", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert "outcome" in out
+        assert code == 0  # evidence found
+
+    def test_sweep_command_reports_rates(self, capsys):
+        code = main(
+            ["sweep", "--app", "zoom", "--limiter", "common",
+             "--duration", "25", "--seeds", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FN rate:" in out

@@ -1,0 +1,33 @@
+"""CLI behaviour with the extension scenarios."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliExtensions:
+    def test_perflow_without_merge_finds_nothing(self, capsys):
+        code = main(
+            ["localize", "--app", "zoom", "--limiter", "perflow",
+             "--duration", "25", "--seed", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no-evidence" in out
+
+    def test_perflow_with_merge_localizes(self, capsys):
+        code = main(
+            ["localize", "--app", "zoom", "--limiter", "perflow",
+             "--merge-flows", "--duration", "25", "--seed", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "evidence-in-target-area" in out
+
+    def test_fp_sweep_on_independent_limiters(self, capsys):
+        code = main(
+            ["sweep", "--app", "zoom", "--limiter", "noncommon",
+             "--duration", "25", "--seeds", "2"]
+        )
+        assert code == 0
+        assert "FP rate:" in capsys.readouterr().out

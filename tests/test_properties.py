@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.capture import PathMeasurements, binned_loss_series
+from repro.netsim.packet import DATA, Packet
+from repro.netsim.token_bucket import TokenBucketFilter
+from repro.stats.empirical import ecdf
+from repro.stats.mwu import mann_whitney_u
+from repro.stats.spearman import rankdata, spearman_rho
+from repro.wehe.traces import Trace, bit_invert, extend_to_duration
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestTokenBucketProperties:
+    @given(
+        rate=st.floats(min_value=1e3, max_value=1e8),
+        burst=st.integers(min_value=1500, max_value=100_000),
+        n_packets=st.integers(min_value=1, max_value=60),
+        horizon=st.floats(min_value=0.1, max_value=20.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_output_never_exceeds_rate_times_time_plus_burst(
+        self, rate, burst, n_packets, horizon
+    ):
+        tbf = TokenBucketFilter(rate, burst, 10_000_000)
+        for i in range(n_packets):
+            tbf.enqueue(Packet("f", DATA, i, 1500), 0.0)
+        drained = 0
+        now = 0.0
+        while now <= horizon:
+            packet, wake = tbf.dequeue(now)
+            if packet is not None:
+                drained += packet.size
+            elif wake is None:
+                break
+            elif wake > horizon:
+                break
+            else:
+                now = wake
+        assert drained <= rate / 8.0 * horizon + burst + 1500
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_tokens_never_exceed_burst(self, when):
+        tbf = TokenBucketFilter(1e6, 5000, 10_000)
+        assert tbf.tokens(when) <= 5000
+
+
+class TestEcdfProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=200))
+    @settings(max_examples=80)
+    def test_monotone_nondecreasing_and_ends_at_one(self, samples):
+        xs, ps = ecdf(samples)
+        assert np.all(np.diff(ps) >= 0)
+        assert ps[-1] == 1.0
+        assert np.all(np.diff(xs) > 0) or len(xs) == 1
+
+
+class TestRankProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    @settings(max_examples=80)
+    def test_ranks_sum_invariant(self, values):
+        n = len(values)
+        assert rankdata(values).sum() == n * (n + 1) / 2
+
+    @given(st.lists(finite_floats, min_size=3, max_size=100, unique=True))
+    @settings(max_examples=60)
+    def test_spearman_bounded_and_symmetric(self, values):
+        rng = np.random.default_rng(abs(hash(tuple(values))) % 2**31)
+        other = list(rng.permutation(values))
+        rho = spearman_rho(values, other)
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+        assert spearman_rho(other, values) == rho
+
+    @given(st.lists(finite_floats, min_size=3, max_size=60, unique=True))
+    @settings(max_examples=60)
+    def test_spearman_self_correlation_is_one(self, values):
+        assert spearman_rho(values, values) == 1.0
+
+
+class TestMwuProperties:
+    @given(
+        st.lists(finite_floats, min_size=2, max_size=60),
+        st.lists(finite_floats, min_size=2, max_size=60),
+    )
+    @settings(max_examples=60)
+    def test_pvalue_in_unit_interval(self, x, y):
+        for alternative in ("less", "greater", "two-sided"):
+            result = mann_whitney_u(x, y, alternative=alternative)
+            assert 0.0 <= result.pvalue <= 1.0
+
+    @given(st.lists(finite_floats, min_size=5, max_size=60, unique=True))
+    @settings(max_examples=40)
+    def test_one_sided_pvalues_complementary_direction(self, x):
+        shifted = [v + 1.0 for v in x]
+        less = mann_whitney_u(x, shifted, alternative="less").pvalue
+        greater = mann_whitney_u(x, shifted, alternative="greater").pvalue
+        assert less <= greater
+
+
+class TestTraceProperties:
+    @st.composite
+    def traces(draw):
+        n = draw(st.integers(min_value=2, max_value=60))
+        gaps = draw(
+            st.lists(
+                st.floats(min_value=1e-4, max_value=0.5),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        sizes = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=1500), min_size=n, max_size=n
+            )
+        )
+        times = np.cumsum(gaps)
+        schedule = tuple((float(t), s) for t, s in zip(times, sizes))
+        return Trace("app", "udp", schedule, sni="x.com")
+
+    @given(traces())
+    @settings(max_examples=60)
+    def test_bit_invert_is_schedule_preserving_involution(self, trace):
+        inverted = bit_invert(trace)
+        assert inverted.schedule == trace.schedule
+        assert bit_invert(inverted).schedule == trace.schedule
+        assert inverted.sni is None
+
+    @given(traces(), st.floats(min_value=1.0, max_value=120.0))
+    @settings(max_examples=60, deadline=None)
+    def test_extension_reaches_duration_and_preserves_bytes_ratio(
+        self, trace, min_duration
+    ):
+        extended = extend_to_duration(trace, min_duration)
+        assert extended.duration >= min(min_duration, trace.duration)
+        assert extended.n_packets % trace.n_packets == 0
+        repeats = extended.n_packets // trace.n_packets
+        assert extended.total_bytes == repeats * trace.total_bytes
+
+
+class TestBinningProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        interval=st.floats(min_value=0.2, max_value=5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_series_equal_length_and_rates_nonnegative(self, seed, interval):
+        rng = np.random.default_rng(seed)
+        sends = np.sort(rng.uniform(0, 30, 2000))
+        m1 = PathMeasurements(sends, rng.uniform(0, 30, 50), 0.03)
+        m2 = PathMeasurements(sends, rng.uniform(0, 30, 50), 0.03)
+        s1, s2 = binned_loss_series(m1, m2, interval)
+        assert len(s1) == len(s2)
+        assert np.all(s1 >= 0) and np.all(s2 >= 0)

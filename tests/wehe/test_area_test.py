@@ -1,0 +1,56 @@
+"""Area Test (WeHe's second statistic) tests."""
+
+import numpy as np
+import pytest
+
+from repro.wehe.detection import area_test_statistic, detect_differentiation
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(37)
+
+
+class TestAreaStatistic:
+    def test_identical_samples_zero(self, rng):
+        samples = rng.normal(5e6, 0.5e6, 200)
+        assert area_test_statistic(samples, samples) == 0.0
+
+    def test_disjoint_samples_large(self, rng):
+        low = rng.uniform(1e6, 1.1e6, 100)
+        high = rng.uniform(9e6, 9.1e6, 100)
+        assert area_test_statistic(low, high) > 0.9
+
+    def test_bounded(self, rng):
+        for _ in range(10):
+            x = rng.uniform(0, 10, 50)
+            y = rng.uniform(0, 10, 50)
+            assert 0.0 <= area_test_statistic(x, y) <= 1.0
+
+    def test_symmetric(self, rng):
+        x = rng.normal(3e6, 1e6, 80)
+        y = rng.normal(5e6, 1e6, 80)
+        assert area_test_statistic(x, y) == pytest.approx(
+            area_test_statistic(y, x)
+        )
+
+    def test_degenerate_single_value(self):
+        assert area_test_statistic([1.0, 1.0], [1.0]) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            area_test_statistic([], [1.0])
+
+
+class TestAreaInDetection:
+    def test_throttled_replay_has_large_area(self, rng):
+        original = rng.normal(2e6, 0.1e6, 100)
+        inverted = rng.normal(8e6, 0.4e6, 100)
+        result = detect_differentiation(original, inverted)
+        assert result.area_statistic > 0.5
+        assert result.differentiated
+
+    def test_identical_replays_have_small_area(self, rng):
+        samples = rng.normal(5e6, 0.5e6, 100)
+        result = detect_differentiation(samples, samples * rng.normal(1, 0.01, 100))
+        assert result.area_statistic < 0.2

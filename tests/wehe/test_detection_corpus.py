@@ -1,0 +1,125 @@
+"""WeHe detection, loss estimation, and T_diff corpus tests."""
+
+import numpy as np
+import pytest
+
+from repro.wehe.corpus import (
+    PAIR_WINDOW_SECONDS,
+    HistoricalTest,
+    generate_corpus,
+    tdiff_distribution,
+)
+from repro.wehe.detection import detect_differentiation
+from repro.wehe.loss_measurement import RetransmissionLossEstimator
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(23)
+
+
+class TestDetection:
+    def test_throttled_original_is_detected(self, rng):
+        original = rng.normal(2e6, 0.1e6, 100)
+        inverted = rng.normal(8e6, 0.4e6, 100)
+        result = detect_differentiation(original, inverted)
+        assert result.differentiated
+        assert result.throttled
+        assert result.pvalue < 1e-6
+
+    def test_identical_distributions_pass(self, rng):
+        samples = rng.normal(5e6, 0.5e6, 100)
+        result = detect_differentiation(samples, samples)
+        assert not result.differentiated
+
+    def test_tiny_gap_not_flagged(self, rng):
+        # Statistically different but practically identical means.
+        original = rng.normal(5.00e6, 1e4, 100)
+        inverted = rng.normal(5.05e6, 1e4, 100)
+        result = detect_differentiation(original, inverted, min_relative_gap=0.05)
+        assert not result.differentiated
+
+    def test_faster_original_is_differentiated_but_not_throttled(self, rng):
+        original = rng.normal(8e6, 0.4e6, 100)
+        inverted = rng.normal(2e6, 0.1e6, 100)
+        result = detect_differentiation(original, inverted)
+        assert result.differentiated
+        assert not result.throttled
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            detect_differentiation([], [1.0])
+
+
+class _FakeSender:
+    def __init__(self, retx_log, packets_sent):
+        self.retx_log = retx_log
+        self.packets_sent = packets_sent
+
+
+class TestLossEstimator:
+    def test_passthrough_without_noise(self):
+        sender = _FakeSender([(1.0, 0, "fast"), (2.0, 10, "rto")], 100)
+        estimator = RetransmissionLossEstimator()
+        assert estimator.loss_times(sender) == [1.0, 2.0]
+        assert estimator.loss_rate(sender) == pytest.approx(0.02)
+
+    def test_overcounting_adds_events(self, rng):
+        sender = _FakeSender([(float(t), 0, "fast") for t in range(100)], 1000)
+        estimator = RetransmissionLossEstimator(overcount_rate=0.5, rng=rng)
+        times = estimator.loss_times(sender)
+        assert len(times) > 100
+        assert len(times) < 200
+
+    def test_jitter_moves_registration_times(self, rng):
+        sender = _FakeSender([(10.0, 0, "fast")] * 50, 1000)
+        estimator = RetransmissionLossEstimator(registration_jitter=0.1, rng=rng)
+        times = np.array(estimator.loss_times(sender))
+        assert times.std() > 0.01
+        assert np.all(times >= 0)
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError):
+            RetransmissionLossEstimator(overcount_rate=0.1)
+
+    def test_empty_log(self):
+        sender = _FakeSender([], 0)
+        estimator = RetransmissionLossEstimator()
+        assert estimator.loss_times(sender) == []
+        assert estimator.loss_rate(sender) == 0.0
+
+
+class TestCorpus:
+    def test_generated_corpus_yields_pairs(self, rng):
+        corpus = generate_corpus(rng, n_clients=20, tests_per_client=4)
+        tdiff = tdiff_distribution(corpus)
+        assert len(tdiff) >= 20
+        assert np.all(np.abs(tdiff) <= 1.0)
+
+    def test_variation_scale_tracks_cv(self, rng):
+        tight = tdiff_distribution(generate_corpus(rng, variation_cv=0.02))
+        loose = tdiff_distribution(
+            generate_corpus(np.random.default_rng(24), variation_cv=0.3)
+        )
+        assert np.abs(tight).mean() < np.abs(loose).mean()
+
+    def test_pairing_respects_window_and_keys(self):
+        far_apart = [
+            HistoricalTest("c", "zoom", "x", 0.0, 1e6),
+            HistoricalTest("c", "zoom", "x", PAIR_WINDOW_SECONDS + 1, 2e6),
+        ]
+        assert len(tdiff_distribution(far_apart)) == 0
+        different_apps = [
+            HistoricalTest("c", "zoom", "x", 0.0, 1e6),
+            HistoricalTest("c", "skype", "x", 10.0, 2e6),
+        ]
+        assert len(tdiff_distribution(different_apps)) == 0
+        good = [
+            HistoricalTest("c", "zoom", "x", 0.0, 1e6),
+            HistoricalTest("c", "zoom", "x", 10.0, 2e6),
+        ]
+        assert len(tdiff_distribution(good)) == 1
+
+    def test_requires_two_tests_per_client(self, rng):
+        with pytest.raises(ValueError):
+            generate_corpus(rng, tests_per_client=1)

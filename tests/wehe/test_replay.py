@@ -1,0 +1,98 @@
+"""Replay-endpoint tests: wiring traces onto the topology."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.engine import Simulator
+from repro.netsim.topology import FigureOneTopology, TopologyConfig
+from repro.wehe.apps import make_trace
+from repro.wehe.replay import TraceAppSource, attach_replay
+from repro.wehe.traces import bit_invert
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(19)
+
+
+def build(limiter=None, rate=3e6):
+    sim = Simulator()
+    topology = FigureOneTopology(
+        sim, TopologyConfig(limiter=limiter, limiter_rate_bps=rate)
+    )
+    return sim, topology
+
+
+class TestTraceAppSource:
+    def test_availability_follows_schedule(self, rng):
+        trace = make_trace("netflix", 10.0, rng)
+        source = TraceAppSource(trace, start_at=1.0)
+        assert source.available_bytes(0.5) == 0.0
+        assert source.available_bytes(1.0 + trace.duration + 1) == trace.total_bytes
+
+    def test_next_release_walks_schedule(self, rng):
+        trace = make_trace("zoom", 5.0, rng)
+        source = TraceAppSource(trace, start_at=0.0)
+        release = source.next_release_after(0.0)
+        assert release is not None and release > 0.0
+        assert source.next_release_after(trace.duration + 1) is None
+
+    def test_monotone_availability(self, rng):
+        trace = make_trace("skype", 5.0, rng)
+        source = TraceAppSource(trace)
+        values = [source.available_bytes(t) for t in np.linspace(0, 6, 50)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+class TestAttachReplay:
+    def test_udp_replay_measures_loss_client_side(self, rng):
+        sim, topology = build(limiter="common", rate=1.5e6)
+        trace = make_trace("zoom", 20.0, rng)
+        handle = attach_replay(sim, topology, 1, trace, start_at=0.5, duration=20.0)
+        sim.run(until=22.0)
+        measurements = handle.path_measurements()
+        # The limiter is below the app rate: losses must be observed.
+        assert measurements.packets_lost > 0
+        assert measurements.packets_sent == handle.sender.packets_sent
+        assert handle.retransmission_rate() > 0
+
+    def test_tcp_replay_measures_loss_server_side(self, rng):
+        sim, topology = build(limiter="common", rate=2e6)
+        trace = make_trace("netflix", 20.0, rng)
+        handle = attach_replay(sim, topology, 1, trace, start_at=0.5, duration=20.0)
+        sim.run(until=22.0)
+        measurements = handle.path_measurements()
+        assert measurements.packets_lost == len(handle.sender.retx_log)
+        assert handle.queuing_delay() >= 0.0
+
+    def test_dscp_defaults_follow_sni(self, rng):
+        sim, topology = build()
+        original = make_trace("zoom", 5.0, rng)
+        handle_orig = attach_replay(sim, topology, 1, original, duration=5.0)
+        handle_inv = attach_replay(sim, topology, 2, bit_invert(original), duration=5.0)
+        assert handle_orig.sender.dscp == 1
+        assert handle_inv.sender.dscp == 0
+
+    def test_short_trace_extended_to_duration(self, rng):
+        sim, topology = build()
+        trace = make_trace("zoom", 5.0, rng)
+        handle = attach_replay(sim, topology, 1, trace, duration=30.0)
+        assert handle.trace.duration >= 30.0 - 1.0
+
+    def test_throughput_samples_shape(self, rng):
+        sim, topology = build()
+        trace = make_trace("zoom", 10.0, rng)
+        handle = attach_replay(sim, topology, 1, trace, duration=10.0)
+        sim.run(until=12.0)
+        assert len(handle.throughput_samples()) == 100
+        assert handle.mean_throughput() > 0
+
+    def test_inverted_replay_not_throttled(self, rng):
+        sim, topology = build(limiter="common", rate=1.5e6)
+        trace = make_trace("zoom", 15.0, rng)
+        handle = attach_replay(
+            sim, topology, 1, bit_invert(trace), start_at=0.5, duration=15.0
+        )
+        sim.run(until=17.0)
+        # dscp=0 bypasses the TBF: essentially no loss.
+        assert handle.path_measurements().loss_rate < 0.01

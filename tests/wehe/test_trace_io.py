@@ -1,0 +1,64 @@
+"""Trace serialization tests."""
+
+import numpy as np
+import pytest
+
+from repro.wehe.apps import make_trace
+from repro.wehe.trace_io import (
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_statistics,
+    trace_to_dict,
+)
+from repro.wehe.traces import bit_invert
+
+
+@pytest.fixture
+def trace():
+    return make_trace("zoom", 10.0, np.random.default_rng(3))
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, trace):
+        restored = trace_from_dict(trace_to_dict(trace))
+        assert restored.app == trace.app
+        assert restored.protocol == trace.protocol
+        assert restored.sni == trace.sni
+        assert restored.schedule == trace.schedule
+
+    def test_file_round_trip(self, trace, tmp_path):
+        path = tmp_path / "zoom.json"
+        save_trace(trace, path)
+        restored = load_trace(path)
+        assert restored.schedule == trace.schedule
+
+    def test_bit_inverted_trace_round_trips(self, trace, tmp_path):
+        path = tmp_path / "inv.json"
+        save_trace(bit_invert(trace), path)
+        restored = load_trace(path)
+        assert restored.sni is None
+        assert not restored.is_original
+
+    def test_unknown_version_rejected(self, trace):
+        data = trace_to_dict(trace)
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            trace_from_dict(data)
+
+
+class TestStatistics:
+    def test_fields_consistent_with_trace(self, trace):
+        stats = trace_statistics(trace)
+        assert stats["n_packets"] == trace.n_packets
+        assert stats["total_bytes"] == trace.total_bytes
+        assert stats["duration_s"] == pytest.approx(trace.duration)
+        assert stats["mean_packet_bytes"] <= stats["max_packet_bytes"]
+        assert stats["original"]
+
+    def test_single_packet_trace(self):
+        from repro.wehe.traces import Trace
+
+        stats = trace_statistics(Trace("a", "udp", ((0.0, 500),)))
+        assert stats["mean_gap_s"] == 0.0
+        assert stats["n_packets"] == 1
