@@ -27,7 +27,7 @@ def main():
     trace = make_trace(config.app, config.duration, service._trace_rng)
     result = service.simultaneous_replay(trace)
     m1, m2 = result.measurements_1, result.measurements_2
-    print(f"ground truth: rate limiter on the COMMON link only")
+    print("ground truth: rate limiter on the COMMON link only")
     print(f"measured path loss rates: {m1.loss_rate:.3f} / {m2.loss_rate:.3f}\n")
 
     print("BinLossTomo inferred performance (probability of being non-lossy)")

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.localizer import WeHeYLocalizer
 from repro.core.loss_correlation import LossTrendCorrelation
 from repro.experiments.runner import NetsimReplayService, run_detection_experiment
+from repro.faults import FaultInjector, ReplayAbortedError
 from repro.experiments.scenarios import ScenarioConfig
 from repro.experiments.wild import default_tdiff
 from repro.wehe.apps import APP_SPECS, make_trace
@@ -62,13 +63,47 @@ def _scenario_from(args):
 
 def cmd_localize(args):
     config = _scenario_from(args)
-    service = NetsimReplayService(config, merge_flows=args.merge_flows)
-    trace = make_trace(config.app, config.duration, service._trace_rng)
+    injector = None
+    if args.fault_profile and args.fault_profile != "none":
+        injector = FaultInjector.from_spec(args.fault_profile, seed=args.seed)
     localizer = WeHeYLocalizer(np.random.default_rng(args.seed), default_tdiff())
-    report = localizer.localize(service, trace, bit_invert(trace))
+    attempts_allowed = args.max_retries + 1
+    report = None
+    for attempt in range(attempts_allowed):
+        service = NetsimReplayService(
+            config,
+            entropy=attempt,
+            merge_flows=args.merge_flows,
+            fault_injector=injector,
+        )
+        trace = make_trace(config.app, config.duration, service._trace_rng)
+        try:
+            candidate = localizer.localize(service, trace, bit_invert(trace))
+        except ReplayAbortedError as exc:
+            print(f"attempt {attempt + 1}/{attempts_allowed}: replay aborted ({exc})")
+            continue
+        if candidate.invalid and attempt + 1 < attempts_allowed:
+            print(
+                f"attempt {attempt + 1}/{attempts_allowed}: "
+                f"unusable measurements ({candidate.reason_code}); retrying"
+            )
+            continue
+        report = candidate
+        break
+    if injector is not None and injector.fires_by_site:
+        fired = ", ".join(
+            f"{site} x{count}"
+            for site, count in sorted(injector.fires_by_site.items())
+        )
+        print(f"faults    : {fired}")
+    if report is None:
+        print(f"outcome   : failed (all {attempts_allowed} attempts aborted)")
+        return 2
     print(f"outcome   : {report.outcome.value}")
     print(f"mechanism : {report.mechanism.value}")
     print(f"reason    : {report.reason}")
+    if report.reason_code:
+        print(f"code      : {report.reason_code}")
     if report.throughput_result is not None:
         tr = report.throughput_result
         print(f"X / Y     : {tr.x_mean_bps/1e6:.2f} / {tr.y_mean_bps/1e6:.2f} Mb/s "
@@ -131,6 +166,15 @@ def build_parser():
     localize.add_argument(
         "--merge-flows", action="store_true",
         help="apply the Section-7 flow-merging countermeasure",
+    )
+    localize.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries after an aborted or unusable replay (default 2)",
+    )
+    localize.add_argument(
+        "--fault-profile", default="none",
+        help="fault-injection profile: none, flaky, chaos, or a spec "
+             "like 'replay_abort=0.5,traceroute_timeout=1.0:2'",
     )
     localize.set_defaults(func=cmd_localize)
 

@@ -14,15 +14,46 @@ the system must:
 
 ``WeHeYCoordinator`` glues the M-Lab substrate (topology database +
 verifier) to the simulator-backed replay service and the localizer.
+
+In the wild every step can fail: replays abort, traceroutes time out,
+topology entries go stale, measurements arrive corrupted (the Wehe
+case study, arXiv:2102.04196, reports these as the dominant source of
+inconclusive tests).  The coordinator therefore degrades gracefully
+instead of raising: transient failures are retried with exponential
+backoff across *all* candidate server pairs, subject to a per-test
+attempt/time budget (:class:`~repro.faults.RetryPolicy`), and every
+outcome is a structured :class:`CoordinatedReport` terminal status.
 """
 
 import enum
-from dataclasses import dataclass
+import time
+import warnings
+import zlib
+from collections import Counter, deque
+from dataclasses import dataclass, field
 
 from repro.core.localizer import WeHeYLocalizer
 from repro.experiments.runner import NetsimReplayService
+from repro.faults import (
+    FaultSite,
+    ReplayAbortedError,
+    RetryBudget,
+    RetryPolicy,
+    TracerouteTimeoutError,
+    maybe_fire,
+)
 from repro.wehe.apps import make_trace
 from repro.wehe.traces import bit_invert
+
+#: RTT assumed for a path whose traceroute reported no usable hops --
+#: the historical median of the deployment's server-client RTTs.  Using
+#: it is a degradation, so it is surfaced via a warning and the
+#: coordinator's ``traceroute_fallback_rtt`` telemetry counter.
+TRACEROUTE_FALLBACK_RTT_S = 0.035
+
+
+class TracerouteFallbackWarning(UserWarning):
+    """A traceroute produced no hops; the fallback RTT was used."""
 
 
 class CoordinationStatus(enum.Enum):
@@ -31,6 +62,33 @@ class CoordinationStatus(enum.Enum):
     COMPLETED = "completed"
     NO_TOPOLOGY = "no-suitable-topology"
     DISCARDED_TOPOLOGY_CHANGED = "discarded-topology-changed"
+    REPLAY_FAILED = "replay-failed"
+    TRACEROUTE_FAILED = "traceroute-failed"
+    INVALID_MEASUREMENTS = "invalid-measurements"
+    RETRIES_EXHAUSTED = "retries-exhausted"
+
+
+#: Failures worth retrying on another candidate pair.  A topology
+#: change is not among them: Section 3.4 discards the measurements and
+#: ends the test (the next invocation will pick a surviving pair).
+RETRYABLE_STATUSES = frozenset(
+    {
+        CoordinationStatus.REPLAY_FAILED,
+        CoordinationStatus.TRACEROUTE_FAILED,
+        CoordinationStatus.INVALID_MEASUREMENTS,
+    }
+)
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt within a coordinated test (for the report's audit log)."""
+
+    index: int
+    server_pair: tuple
+    failure: CoordinationStatus  # None when the attempt succeeded
+    reason: str
+    backoff_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -41,6 +99,7 @@ class CoordinatedReport:
     client_name: str
     server_pair: tuple = None
     localization: object = None  # LocalizationReport when COMPLETED
+    attempts: tuple = field(default_factory=tuple)
 
     @property
     def localized(self):
@@ -49,23 +108,57 @@ class CoordinatedReport:
             and self.localization.localized
         )
 
+    @property
+    def n_attempts(self):
+        return len(self.attempts)
 
-def rtts_from_traceroutes(internet, rng, server_pair, client):
+
+def replay_entropy(client_name, attempt_index=0):
+    """Stable per-client replay entropy.
+
+    ``hash()`` is salted per interpreter run (PYTHONHASHSEED), which
+    made coordinated results irreproducible across processes; CRC-32 is
+    stable everywhere.  ``attempt_index`` decorrelates retries so a
+    retried replay does not deterministically reproduce the failure
+    conditions of the first one.
+    """
+    base = zlib.crc32(client_name.encode("utf-8"))
+    return (base + attempt_index) % (2**31)
+
+
+def rtts_from_traceroutes(
+    internet, rng, server_pair, client, fault_injector=None, telemetry=None
+):
     """Estimate the two path RTTs from fresh traceroute measurements.
 
     The last hop's RTT approximates the one-way forward delay; the
     paper's client uses such measurements when configuring the replay.
+    A traceroute with no usable hops degrades to
+    :data:`TRACEROUTE_FALLBACK_RTT_S` (warned about and counted in
+    ``telemetry``); a timed-out traceroute raises
+    :class:`~repro.faults.TracerouteTimeoutError` for the caller's
+    retry logic.
     """
     from repro.mlab.traceroute import run_traceroute
 
     servers = {s.name: s for s in internet.servers}
     rtts = []
     for name in server_pair:
-        record = run_traceroute(internet, servers[name], client, rng)
+        record = run_traceroute(
+            internet, servers[name], client, rng, fault_injector=fault_injector
+        )
         if record.hops:
             rtts.append(max(2.0 * record.hops[-1].rtt_ms / 1e3, 0.01))
         else:
-            rtts.append(0.035)
+            warnings.warn(
+                f"traceroute {name} -> {client.name} returned no hops; "
+                f"assuming {TRACEROUTE_FALLBACK_RTT_S * 1e3:.0f} ms RTT",
+                TracerouteFallbackWarning,
+                stacklevel=2,
+            )
+            if telemetry is not None:
+                telemetry["traceroute_fallback_rtt"] += 1
+            rtts.append(TRACEROUTE_FALLBACK_RTT_S)
     return tuple(rtts)
 
 
@@ -81,50 +174,209 @@ class WeHeYCoordinator:
             placement, severity); RTTs are overridden per server pair.
         rng: numpy Generator.
         tdiff: T_diff samples for the throughput comparison.
+        retry_policy: a :class:`~repro.faults.RetryPolicy`; the default
+            allows three attempts with exponential backoff.
+        fault_injector: optional :class:`~repro.faults.FaultInjector`
+            threaded through every layer (traceroutes, replay service,
+            topology lookups) for deterministic failure testing.
+        clock / sleep: time source and delay callable for the retry
+            budget.  The default accounts backoff virtually without
+            sleeping; pass ``sleep=time.sleep`` in a real deployment.
     """
 
-    def __init__(self, internet, database, verifier, scenario, rng, tdiff):
+    def __init__(
+        self,
+        internet,
+        database,
+        verifier,
+        scenario,
+        rng,
+        tdiff,
+        retry_policy=None,
+        fault_injector=None,
+        clock=time.monotonic,
+        sleep=None,
+    ):
         self.internet = internet
         self.database = database
         self.verifier = verifier
         self.scenario = scenario
         self.rng = rng
         self.tdiff = tdiff
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.fault_injector = fault_injector
+        self.telemetry = Counter()
+        self._clock = clock
+        self._sleep = sleep
 
     def run_test(self, client_name, app="netflix"):
-        """One full WeHeY invocation for ``client_name``."""
+        """One full WeHeY invocation for ``client_name``.
+
+        Never raises on pipeline failures: every outcome -- success,
+        missing topology, discarded measurements, aborted replays,
+        traceroute timeouts, corrupted measurements, exhausted retries
+        -- comes back as a :class:`CoordinatedReport` whose ``attempts``
+        log records what was tried.
+        """
         client = self.internet.find_client(client_name)
-        entries = self.database.lookup(client.ip, client.asn)
-        if not entries:
+        candidates = deque(self.database.lookup(client.ip, client.asn))
+        if not candidates:
             return CoordinatedReport(
                 status=CoordinationStatus.NO_TOPOLOGY, client_name=client_name
             )
-        entry = entries[0]
 
-        rtt_1, rtt_2 = rtts_from_traceroutes(
-            self.internet, self.rng, entry.server_pair, client
+        budget = RetryBudget(self.retry_policy, clock=self._clock, sleep=self._sleep)
+        attempts = []
+        while candidates and budget.allows_another():
+            entry = candidates[0]
+            if maybe_fire(self.fault_injector, FaultSite.STALE_TOPOLOGY):
+                # The entry no longer reflects reality (decommissioned
+                # server, long-gone route): drop it and move on without
+                # charging the retry budget -- nothing was measured.
+                self.database.invalidate(entry)
+                candidates.popleft()
+                self.telemetry["stale_topology_entries"] += 1
+                attempts.append(
+                    AttemptRecord(
+                        index=len(attempts),
+                        server_pair=entry.server_pair,
+                        failure=CoordinationStatus.NO_TOPOLOGY,
+                        reason="stale topology entry",
+                    )
+                )
+                continue
+
+            budget.charge_attempt()
+            self.telemetry["attempts"] += 1
+            failure, reason, localization = self._attempt(
+                client, entry, app, budget.attempts_used - 1
+            )
+
+            if failure is None:
+                attempts.append(
+                    AttemptRecord(
+                        index=len(attempts),
+                        server_pair=entry.server_pair,
+                        failure=None,
+                        reason=reason,
+                    )
+                )
+                return CoordinatedReport(
+                    status=CoordinationStatus.COMPLETED,
+                    client_name=client_name,
+                    server_pair=entry.server_pair,
+                    localization=localization,
+                    attempts=tuple(attempts),
+                )
+
+            if failure is CoordinationStatus.DISCARDED_TOPOLOGY_CHANGED:
+                # Section 3.4, step 4: discard the measurements,
+                # invalidate the entry, end the test.
+                self.database.invalidate(entry)
+                self.telemetry["topology_invalidated"] += 1
+                attempts.append(
+                    AttemptRecord(
+                        index=len(attempts),
+                        server_pair=entry.server_pair,
+                        failure=failure,
+                        reason=reason,
+                    )
+                )
+                return CoordinatedReport(
+                    status=failure,
+                    client_name=client_name,
+                    server_pair=entry.server_pair,
+                    attempts=tuple(attempts),
+                )
+
+            # Transient failure: rotate to the next candidate pair and
+            # back off before the retry.
+            candidates.rotate(-1)
+            backoff = 0.0
+            if candidates and budget.allows_another():
+                backoff = budget.charge_backoff()
+                self.telemetry["retries"] += 1
+            attempts.append(
+                AttemptRecord(
+                    index=len(attempts),
+                    server_pair=entry.server_pair,
+                    failure=failure,
+                    reason=reason,
+                    backoff_s=backoff,
+                )
+            )
+
+        status = self._terminal_status(attempts)
+        last_pair = attempts[-1].server_pair if attempts else None
+        return CoordinatedReport(
+            status=status,
+            client_name=client_name,
+            server_pair=last_pair,
+            attempts=tuple(attempts),
         )
+
+    def _attempt(self, client, entry, app, attempt_index):
+        """One attempt; returns ``(failure, reason, localization)``.
+
+        ``failure`` is ``None`` on success, otherwise the
+        :class:`CoordinationStatus` classifying what went wrong.
+        """
+        try:
+            rtt_1, rtt_2 = rtts_from_traceroutes(
+                self.internet,
+                self.rng,
+                entry.server_pair,
+                client,
+                fault_injector=self.fault_injector,
+                telemetry=self.telemetry,
+            )
+        except TracerouteTimeoutError as exc:
+            return CoordinationStatus.TRACEROUTE_FAILED, str(exc), None
+
         config = self.scenario.with_(
             rtt_1=max(rtt_1, 0.01), rtt_2=max(rtt_2, 0.01)
         )
         service = NetsimReplayService(
-            config, entropy=abs(hash(client_name)) % (2**31)
+            config,
+            entropy=replay_entropy(client.name, attempt_index),
+            fault_injector=self.fault_injector,
         )
         trace = make_trace(app, config.duration, service._trace_rng)
         localizer = WeHeYLocalizer(self.rng, self.tdiff)
-        report = localizer.localize(service, trace, bit_invert(trace))
+        try:
+            report = localizer.localize(service, trace, bit_invert(trace))
+        except ReplayAbortedError as exc:
+            return CoordinationStatus.REPLAY_FAILED, str(exc), None
+        if report.invalid:
+            return CoordinationStatus.INVALID_MEASUREMENTS, report.reason_code, report
 
         # Section 3.4, step 4: re-verify the topology after the replays.
-        if not self.verifier.verify(entry, client_name):
-            entries.remove(entry)
-            return CoordinatedReport(
-                status=CoordinationStatus.DISCARDED_TOPOLOGY_CHANGED,
-                client_name=client_name,
-                server_pair=entry.server_pair,
+        if not self.verifier.verify(entry, client.name):
+            return (
+                CoordinationStatus.DISCARDED_TOPOLOGY_CHANGED,
+                "routes changed during the test",
+                None,
             )
-        return CoordinatedReport(
-            status=CoordinationStatus.COMPLETED,
-            client_name=client_name,
-            server_pair=entry.server_pair,
-            localization=report,
-        )
+        return None, "completed", report
+
+    @staticmethod
+    def _terminal_status(attempts):
+        """Status when the attempt loop ended without a success.
+
+        All entries stale -> NO_TOPOLOGY; every real attempt failing
+        the same way -> that failure's status (more diagnostic than a
+        generic label); mixed failures -> RETRIES_EXHAUSTED.
+        """
+        if not attempts:
+            # The time budget expired before anything could run.
+            return CoordinationStatus.RETRIES_EXHAUSTED
+        real_failures = {
+            a.failure
+            for a in attempts
+            if a.failure is not CoordinationStatus.NO_TOPOLOGY
+        }
+        if not real_failures:
+            return CoordinationStatus.NO_TOPOLOGY
+        if len(real_failures) == 1:
+            return next(iter(real_failures))
+        return CoordinationStatus.RETRIES_EXHAUSTED

@@ -24,6 +24,8 @@ models, and unit-test fakes identically.
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.loss_correlation import LossTrendCorrelation
 from repro.core.throughput_comparison import (
     ThroughputComparison,
@@ -47,9 +49,24 @@ class Mechanism(enum.Enum):
     NONE = "none"
 
 
+#: Machine-readable prefix marking reports produced by input validation
+#: rather than by the detectors.
+INVALID_REASON_PREFIX = "invalid:"
+
+#: Fewest throughput samples a replay must deliver (the throughput
+#: comparison's Monte-Carlo subsampling needs at least this many).
+MIN_THROUGHPUT_SAMPLES = 4
+
+
 @dataclass(frozen=True)
 class LocalizationReport:
-    """Everything WeHeY concluded about one test."""
+    """Everything WeHeY concluded about one test.
+
+    ``reason_code`` is the machine-readable counterpart of ``reason``;
+    validation failures use codes of the form ``invalid:<where>:<what>``
+    so callers (the coordinator, dashboards) can branch without parsing
+    prose.
+    """
 
     outcome: LocalizationOutcome
     mechanism: Mechanism
@@ -58,10 +75,58 @@ class LocalizationReport:
     confirmation_2: object = None
     throughput_result: object = None
     loss_result: object = None
+    reason_code: str = ""
 
     @property
     def localized(self):
         return self.outcome is LocalizationOutcome.EVIDENCE_IN_TARGET_AREA
+
+    @property
+    def invalid(self):
+        """True iff the inputs were unusable (vs. a genuine no-evidence)."""
+        return self.reason_code.startswith(INVALID_REASON_PREFIX)
+
+
+def _sample_problem(samples, label):
+    """Reason code if a throughput-sample series is unusable, else None."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < MIN_THROUGHPUT_SAMPLES:
+        return f"{INVALID_REASON_PREFIX}{label}:too-few-samples"
+    if not np.all(np.isfinite(arr)):
+        return f"{INVALID_REASON_PREFIX}{label}:non-finite-samples"
+    if np.any(arr < 0):
+        return f"{INVALID_REASON_PREFIX}{label}:negative-samples"
+    return None
+
+
+def _measurement_problem(measurements, label):
+    """Reason code if a path's loss measurements are unusable, else None."""
+    if measurements.packets_sent == 0:
+        return f"{INVALID_REASON_PREFIX}{label}:empty-measurements"
+    send = np.asarray(measurements.send_times, dtype=float)
+    lost = np.asarray(measurements.loss_times, dtype=float)
+    if not (np.all(np.isfinite(send)) and np.all(np.isfinite(lost))):
+        return f"{INVALID_REASON_PREFIX}{label}:non-finite-measurements"
+    rate = measurements.loss_rate
+    if not np.isfinite(rate) or rate < 0:
+        return f"{INVALID_REASON_PREFIX}{label}:bad-loss-rate"
+    return None
+
+
+def _simultaneous_problem(result, label):
+    """Reason code if a simultaneous-replay result is unusable, else None."""
+    for which, samples in ((1, result.samples_1), (2, result.samples_2)):
+        problem = _sample_problem(samples, f"{label}-p{which}")
+        if problem:
+            return problem
+    for which, measurements in (
+        (1, result.measurements_1),
+        (2, result.measurements_2),
+    ):
+        problem = _measurement_problem(measurements, f"{label}-p{which}")
+        if problem:
+            return problem
+    return None
 
 
 class SimultaneousReplayResult:
@@ -115,11 +180,36 @@ class WeHeYLocalizer:
         self.skip_throughput_comparison = skip_throughput_comparison
         self.skip_loss_correlation = skip_loss_correlation
 
+    def _invalid(self, code):
+        """A NO_EVIDENCE report for unusable inputs (never raises)."""
+        return LocalizationReport(
+            outcome=LocalizationOutcome.NO_EVIDENCE,
+            mechanism=Mechanism.NONE,
+            reason=f"measurements unusable ({code})",
+            reason_code=code,
+        )
+
     def localize(self, service, original_trace, inverted_trace):
-        """Run operations 2-4 and produce a :class:`LocalizationReport`."""
+        """Run operations 2-4 and produce a :class:`LocalizationReport`.
+
+        Inputs are validated as they arrive (sample counts, NaN or
+        negative values, empty loss logs); unusable measurements yield
+        a NO_EVIDENCE report with a machine-readable ``reason_code``
+        rather than an exception, and the remaining replays are not
+        run.
+        """
         x_samples = service.single_replay(original_trace)
+        problem = _sample_problem(x_samples, "single-replay")
+        if problem:
+            return self._invalid(problem)
         original_sim = service.simultaneous_replay(original_trace)
+        problem = _simultaneous_problem(original_sim, "original-sim")
+        if problem:
+            return self._invalid(problem)
         inverted_sim = service.simultaneous_replay(inverted_trace)
+        problem = _simultaneous_problem(inverted_sim, "inverted-sim")
+        if problem:
+            return self._invalid(problem)
 
         confirmation_1 = detect_differentiation(
             original_sim.samples_1, inverted_sim.samples_1, alpha=self.alpha
@@ -132,6 +222,7 @@ class WeHeYLocalizer:
                 outcome=LocalizationOutcome.NO_EVIDENCE,
                 mechanism=Mechanism.NONE,
                 reason="differentiation not confirmed on both paths",
+                reason_code="not-confirmed-both-paths",
                 confirmation_1=confirmation_1,
                 confirmation_2=confirmation_2,
             )
@@ -149,6 +240,7 @@ class WeHeYLocalizer:
                     outcome=LocalizationOutcome.EVIDENCE_IN_TARGET_AREA,
                     mechanism=Mechanism.PER_CLIENT_THROTTLING,
                     reason="aggregate simultaneous throughput matches the single replay",
+                    reason_code="per-client-throttling",
                     confirmation_1=confirmation_1,
                     confirmation_2=confirmation_2,
                     throughput_result=throughput_result,
@@ -164,6 +256,7 @@ class WeHeYLocalizer:
                     outcome=LocalizationOutcome.EVIDENCE_IN_TARGET_AREA,
                     mechanism=Mechanism.COLLECTIVE_THROTTLING,
                     reason="loss trends of the two paths are significantly correlated",
+                    reason_code="collective-throttling",
                     confirmation_1=confirmation_1,
                     confirmation_2=confirmation_2,
                     throughput_result=throughput_result,
@@ -174,6 +267,7 @@ class WeHeYLocalizer:
             outcome=LocalizationOutcome.NO_EVIDENCE,
             mechanism=Mechanism.NONE,
             reason="no common bottleneck detected",
+            reason_code="no-common-bottleneck",
             confirmation_1=confirmation_1,
             confirmation_2=confirmation_2,
             throughput_result=throughput_result,

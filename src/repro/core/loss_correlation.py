@@ -18,8 +18,28 @@ bottleneck's arrival rate.  Algorithm 1 captures exactly that:
 
 from dataclasses import dataclass, field
 
-from repro.netsim.capture import binned_loss_series
+import numpy as np
+
+from repro.netsim.capture import PathMeasurements, binned_loss_series
 from repro.stats.spearman import spearman_test
+
+
+def _finite_measurements(measurements):
+    """Measurements with non-finite timestamps dropped (or None if the
+    RTT itself is unusable).
+
+    Wild captures occasionally deliver NaN registration times; a NaN
+    endpoint would corrupt the interval grid, so filter defensively.
+    """
+    if not np.isfinite(measurements.rtt) or measurements.rtt <= 0:
+        return None
+    send = np.asarray(measurements.send_times, dtype=float)
+    lost = np.asarray(measurements.loss_times, dtype=float)
+    if np.all(np.isfinite(send)) and np.all(np.isfinite(lost)):
+        return measurements
+    return PathMeasurements(
+        send[np.isfinite(send)], lost[np.isfinite(lost)], measurements.rtt
+    )
 
 #: Every integer multiple of the (larger) path RTT from 10 to 50 --
 #: the natural reading of Algorithm 1's line 2.  The dense sweep
@@ -89,8 +109,16 @@ class LossTrendCorrelation:
         """Run Algorithm 1 on the two paths' measurements.
 
         Args are :class:`~repro.netsim.capture.PathMeasurements` from
-        the original-trace simultaneous replay.
+        the original-trace simultaneous replay.  Non-finite timestamps
+        are dropped; if either path's RTT is unusable the result is a
+        clean non-detection rather than an exception.
         """
+        measurements_1 = _finite_measurements(measurements_1)
+        measurements_2 = _finite_measurements(measurements_2)
+        if measurements_1 is None or measurements_2 is None:
+            return LossCorrelationResult(
+                common_bottleneck=False, n_correlated=0, n_intervals_tested=0
+            )
         verdicts = []
         correlations = 0
         for interval in self.interval_sizes(measurements_1, measurements_2):

@@ -80,7 +80,12 @@ class ThroughputComparison:
         """
         x = np.asarray(x_samples, dtype=float)
         y = np.asarray(y_samples, dtype=float)
-        tdiff = np.abs(np.asarray(tdiff, dtype=float))
+        tdiff = np.asarray(tdiff, dtype=float)
+        # Corrupted captures can carry NaN samples; drop them rather
+        # than let them poison the Monte-Carlo means and the MWU ranks.
+        x = x[np.isfinite(x)]
+        y = y[np.isfinite(y)]
+        tdiff = np.abs(tdiff[np.isfinite(tdiff)])
         if x.size < 4 or y.size < 4:
             raise ValueError("need at least 4 throughput samples per replay")
         if tdiff.size < self.min_tdiff_samples:

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.localizer import SimultaneousReplayResult
 from repro.core.loss_correlation import LossTrendCorrelation
+from repro.faults import FaultSite, ReplayAbortedError, maybe_fire
 from repro.netsim.background import (
     CountingSink,
     ModulatedPoissonBackground,
@@ -157,13 +158,22 @@ def _prepare_trace(trace, rng, modified):
 
 
 class NetsimReplayService:
-    """Replay service over the simulator for one scenario."""
+    """Replay service over the simulator for one scenario.
 
-    def __init__(self, config, entropy=0, merge_flows=False):
+    ``fault_injector`` (a :class:`~repro.faults.FaultInjector`) makes
+    the service fail the way real WeHe servers do: replays abort before
+    delivering data, sample series arrive truncated, and loss logs
+    arrive corrupted.  Aborts raise :class:`ReplayAbortedError` *before*
+    the simulator is built (the test never ran); truncation and
+    corruption damage otherwise-complete results.
+    """
+
+    def __init__(self, config, entropy=0, merge_flows=False, fault_injector=None):
         self.config = config
         self._seed_seq = np.random.SeedSequence([config.seed, entropy])
         self._trace_rng = np.random.default_rng(self._seed_seq.spawn(1)[0])
         self.modified = True
+        self.fault_injector = fault_injector
         # Section 7's remedy for per-flow throttling: make the two
         # simultaneous replays appear to belong to the same flow, so a
         # per-flow policer assigns them the same bucket.
@@ -174,6 +184,8 @@ class NetsimReplayService:
 
     def single_replay(self, trace):
         """WeHe's p0 replay; returns 100 throughput samples."""
+        if maybe_fire(self.fault_injector, FaultSite.REPLAY_ABORT):
+            raise ReplayAbortedError("single replay aborted")
         env = self._new_environment()
         trace = _prepare_trace(trace, self._trace_rng, self.modified)
         handle = attach_replay(
@@ -186,7 +198,10 @@ class NetsimReplayService:
             ack_jitter_rng=env.ack_jitter_rng,
         )
         env.run()
-        return handle.throughput_samples()
+        samples = handle.throughput_samples()
+        if maybe_fire(self.fault_injector, FaultSite.TRUNCATED_SAMPLES):
+            samples = self.fault_injector.truncate_samples(samples)
+        return samples
 
     def simultaneous_replay(self, trace):
         """Replay ``trace`` on p1 and p2 at (nearly) the same instant.
@@ -196,6 +211,8 @@ class NetsimReplayService:
         between 20 and 100 ms, covering the RTT/startup spread of real
         server pairs.
         """
+        if maybe_fire(self.fault_injector, FaultSite.REPLAY_ABORT):
+            raise ReplayAbortedError("simultaneous replay aborted")
         env = self._new_environment()
         pacing = self.modified
         offset = float(self._trace_rng.uniform(0.02, 0.1))
@@ -219,7 +236,7 @@ class NetsimReplayService:
         env.run()
         estimator = env.loss_estimator()
         h1, h2 = handles
-        return SimultaneousRunResult(
+        result = SimultaneousRunResult(
             samples_1=h1.throughput_samples(),
             samples_2=h2.throughput_samples(),
             measurements_1=h1.path_measurements(estimator),
@@ -231,6 +248,14 @@ class NetsimReplayService:
             mean_throughput_1=h1.mean_throughput(),
             mean_throughput_2=h2.mean_throughput(),
         )
+        injector = self.fault_injector
+        if maybe_fire(injector, FaultSite.TRUNCATED_SAMPLES):
+            result.samples_1 = injector.truncate_samples(result.samples_1)
+            result.samples_2 = injector.truncate_samples(result.samples_2)
+        if maybe_fire(injector, FaultSite.CORRUPT_LOSS):
+            injector.corrupt_measurements(result.measurements_1)
+            injector.corrupt_measurements(result.measurements_2)
+        return result
 
 
 @dataclass

@@ -1,0 +1,42 @@
+"""Deterministic fault injection for the WeHeY pipeline.
+
+The wild deployment the paper describes (Section 3.4) fails constantly:
+replays abort, traceroutes time out, topology entries go stale, and
+measurements arrive truncated or corrupted.  This package makes those
+failures *injectable and reproducible* -- a seeded
+:class:`FaultInjector` drives every failure site from its own RNG
+stream, so a failing run can be replayed exactly.
+
+Usage::
+
+    from repro.faults import FaultInjector, FaultProfile
+
+    injector = FaultInjector(FaultProfile.parse("replay_abort=0.5"), seed=7)
+    service = NetsimReplayService(config, fault_injector=injector)
+"""
+
+from repro.faults.injector import (
+    FaultInjectionError,
+    FaultInjector,
+    ReplayAbortedError,
+    StaleTopologyError,
+    TracerouteTimeoutError,
+    maybe_fire,
+)
+from repro.faults.profile import ALL_SITES, FaultProfile, FaultRule, FaultSite
+from repro.faults.retry import RetryBudget, RetryPolicy
+
+__all__ = [
+    "ALL_SITES",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultRule",
+    "FaultSite",
+    "ReplayAbortedError",
+    "RetryBudget",
+    "RetryPolicy",
+    "StaleTopologyError",
+    "TracerouteTimeoutError",
+    "maybe_fire",
+]

@@ -1,0 +1,117 @@
+"""The deterministic fault injector.
+
+``FaultInjector`` pairs a :class:`~repro.faults.profile.FaultProfile`
+with a seed.  Every injection site gets its *own* child RNG stream
+(spawned from one ``SeedSequence``), so whether ``replay_abort`` fires
+on the third replay never depends on how many traceroutes were run in
+between -- two runs with the same seed and profile produce the same
+fault schedule even when code paths interleave differently.
+
+The injector also keeps telemetry: per-site counters of how often each
+site was consulted (``draws``) and how often it fired (``fires``).
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.faults.profile import FaultProfile, FaultSite
+
+
+class FaultInjectionError(RuntimeError):
+    """Base class for injected failures; carries the site name."""
+
+    site = None
+
+    def __init__(self, message, site=None):
+        super().__init__(message)
+        if site is not None:
+            self.site = site
+
+
+class ReplayAbortedError(FaultInjectionError):
+    """A replay died mid-test (Section 3.4's aborted-replay mode)."""
+
+    site = FaultSite.REPLAY_ABORT
+
+
+class TracerouteTimeoutError(FaultInjectionError):
+    """A traceroute never completed."""
+
+    site = FaultSite.TRACEROUTE_TIMEOUT
+
+
+class StaleTopologyError(FaultInjectionError):
+    """A topology-database entry no longer reflects reality."""
+
+    site = FaultSite.STALE_TOPOLOGY
+
+
+#: How many leading samples survive a truncation fault -- always fewer
+#: than the localizer's minimum, so truncation is reliably detectable.
+MAX_TRUNCATED_SAMPLES = 3
+
+
+class FaultInjector:
+    """Deterministic, seeded fault source shared across the pipeline.
+
+    Parameters:
+        profile: the :class:`FaultProfile` describing what can fail.
+        seed: any value accepted by ``np.random.SeedSequence`` entropy
+            (the experiment seed, so fault schedules are reproducible).
+    """
+
+    def __init__(self, profile, seed=0):
+        self.profile = profile
+        self.seed = seed
+        seq = np.random.SeedSequence([0xFA17, int(seed) % (2**31)])
+        children = seq.spawn(len(profile.rules))
+        self._rngs = {
+            rule.site: np.random.default_rng(child)
+            for rule, child in zip(profile.rules, children)
+        }
+        self.fires_by_site = Counter()
+        self.draws_by_site = Counter()
+
+    @classmethod
+    def from_spec(cls, spec, seed=0):
+        """Convenience for the CLI: parse a spec string and seed it."""
+        return cls(FaultProfile.parse(spec), seed=seed)
+
+    def fires(self, site):
+        """True iff the fault at ``site`` fires this time.
+
+        Consults (and advances) the site's private RNG stream; honours
+        the rule's ``max_fires`` cap.  Sites without a rule never fire
+        and consume no randomness.
+        """
+        rule = self.profile.rule_for(site)
+        if rule is None:
+            return False
+        self.draws_by_site[site] += 1
+        if rule.max_fires is not None and self.fires_by_site[site] >= rule.max_fires:
+            return False
+        fired = bool(self._rngs[site].random() < rule.probability)
+        if fired:
+            self.fires_by_site[site] += 1
+        return fired
+
+    # -- site-specific corruption helpers -----------------------------
+
+    def truncate_samples(self, samples):
+        """A truncated throughput-sample series (transfer died early)."""
+        rng = self._rngs[FaultSite.TRUNCATED_SAMPLES]
+        keep = int(rng.integers(0, MAX_TRUNCATED_SAMPLES + 1))
+        return np.asarray(samples, dtype=float)[:keep]
+
+    def corrupt_measurements(self, measurements):
+        """Poison a path's loss log with non-finite timestamps in place."""
+        measurements.loss_times = np.append(
+            np.asarray(measurements.loss_times, dtype=float), np.nan
+        )
+        return measurements
+
+
+def maybe_fire(injector, site):
+    """``injector.fires(site)`` tolerant of ``injector is None``."""
+    return injector is not None and injector.fires(site)

@@ -1,0 +1,151 @@
+"""Fault profiles: *what* can fail, how often, and how many times.
+
+A profile is pure data -- a set of :class:`FaultRule` entries, one per
+injection site.  It carries no randomness of its own; pairing a profile
+with a seed happens in :class:`~repro.faults.injector.FaultInjector`,
+which is what makes every fault schedule reproducible.
+
+Sites correspond to the failure modes the paper's deployment flow is
+exposed to (Section 3.4; see also the Wehe case study, arXiv:2102.04196):
+
+- ``replay_abort`` -- a replay dies mid-test (server unreachable,
+  middlebox reset);
+- ``truncated_samples`` -- a replay completes but the throughput-sample
+  series arrives truncated;
+- ``corrupt_loss`` -- loss measurements arrive corrupted (NaN
+  timestamps from a broken capture);
+- ``traceroute_timeout`` -- the traceroute never returns;
+- ``traceroute_empty`` -- the traceroute returns but reports no hops;
+- ``stale_topology`` -- a topology-database entry no longer reflects
+  reality (server decommissioned, route long gone).
+"""
+
+from dataclasses import dataclass
+
+
+class FaultSite:
+    """Injection-site names (string constants, usable as dict keys)."""
+
+    REPLAY_ABORT = "replay_abort"
+    TRUNCATED_SAMPLES = "truncated_samples"
+    CORRUPT_LOSS = "corrupt_loss"
+    TRACEROUTE_TIMEOUT = "traceroute_timeout"
+    TRACEROUTE_EMPTY = "traceroute_empty"
+    STALE_TOPOLOGY = "stale_topology"
+
+
+ALL_SITES = (
+    FaultSite.REPLAY_ABORT,
+    FaultSite.TRUNCATED_SAMPLES,
+    FaultSite.CORRUPT_LOSS,
+    FaultSite.TRACEROUTE_TIMEOUT,
+    FaultSite.TRACEROUTE_EMPTY,
+    FaultSite.STALE_TOPOLOGY,
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection site's behaviour.
+
+    Parameters:
+        site: one of :data:`ALL_SITES`.
+        probability: chance that the fault fires when its site is
+            reached (1.0 = always).
+        max_fires: cap on total fires across the injector's lifetime;
+            ``None`` means unlimited.  ``max_fires=1`` models a
+            transient failure that a retry gets past.
+    """
+
+    site: str
+    probability: float = 1.0
+    max_fires: int = None
+
+    def __post_init__(self):
+        if self.site not in ALL_SITES:
+            raise ValueError(f"unknown fault site {self.site!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("fault probability must be in [0, 1]")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValueError("max_fires must be >= 0 or None")
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A named set of fault rules (at most one rule per site)."""
+
+    rules: tuple = ()
+    name: str = "custom"
+
+    def __post_init__(self):
+        sites = [rule.site for rule in self.rules]
+        if len(sites) != len(set(sites)):
+            raise ValueError("at most one rule per fault site")
+
+    def rule_for(self, site):
+        for rule in self.rules:
+            if rule.site == site:
+                return rule
+        return None
+
+    @classmethod
+    def none(cls):
+        """The empty profile: nothing ever fails."""
+        return cls(rules=(), name="none")
+
+    @classmethod
+    def flaky(cls):
+        """Occasional transient failures -- the realistic wild mix."""
+        return cls(
+            name="flaky",
+            rules=(
+                FaultRule(FaultSite.REPLAY_ABORT, 0.25),
+                FaultRule(FaultSite.TRUNCATED_SAMPLES, 0.10),
+                FaultRule(FaultSite.CORRUPT_LOSS, 0.10),
+                FaultRule(FaultSite.TRACEROUTE_TIMEOUT, 0.15),
+                FaultRule(FaultSite.TRACEROUTE_EMPTY, 0.15),
+                FaultRule(FaultSite.STALE_TOPOLOGY, 0.10),
+            ),
+        )
+
+    @classmethod
+    def chaos(cls, probability=0.5):
+        """Everything fails half the time -- the stress profile."""
+        return cls(
+            name="chaos",
+            rules=tuple(FaultRule(site, probability) for site in ALL_SITES),
+        )
+
+    @classmethod
+    def parse(cls, spec):
+        """Build a profile from a CLI-style spec string.
+
+        Accepts a named profile (``none``, ``flaky``, ``chaos``) or a
+        comma-separated rule list ``site[=prob[:max_fires]]``, e.g.
+        ``replay_abort=0.5,traceroute_timeout=1.0:2``.
+        """
+        spec = (spec or "").strip()
+        named = {"none": cls.none, "flaky": cls.flaky, "chaos": cls.chaos}
+        if spec in named:
+            return named[spec]()
+        if not spec:
+            return cls.none()
+        rules = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            site, _, value = part.partition("=")
+            probability, max_fires = 1.0, None
+            if value:
+                prob_str, _, fires_str = value.partition(":")
+                try:
+                    probability = float(prob_str)
+                    if fires_str:
+                        max_fires = int(fires_str)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"bad fault spec element {part!r}: {exc}"
+                    ) from None
+            rules.append(FaultRule(site.strip(), probability, max_fires))
+        return cls(rules=tuple(rules), name="custom")

@@ -1,0 +1,85 @@
+"""Retry policy with exponential backoff and a per-test budget.
+
+The coordinator retries failed attempts across candidate server pairs.
+Backoff is *accounted*, not slept, by default: the simulator has no
+wall clock worth waiting on, and tests must stay fast.  A production
+deployment passes ``sleep=time.sleep`` to actually wait.
+"""
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait between tries.
+
+    Parameters:
+        max_attempts: total attempts (1 = no retries).
+        base_backoff_s: delay before the first retry.
+        backoff_factor: exponential growth factor per retry.
+        max_backoff_s: per-retry delay cap.
+        max_total_time_s: budget for the whole test -- elapsed wall
+            time plus accumulated backoff; once exceeded, no further
+            attempts are made.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.5
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 30.0
+    max_total_time_s: float = float("inf")
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_total_time_s <= 0:
+            raise ValueError("max_total_time_s must be positive")
+
+    def backoff_s(self, retry_index):
+        """Delay before retry number ``retry_index`` (0-based)."""
+        return min(
+            self.base_backoff_s * self.backoff_factor**retry_index,
+            self.max_backoff_s,
+        )
+
+
+class RetryBudget:
+    """Tracks attempts and (virtual) time against a :class:`RetryPolicy`.
+
+    ``charge_backoff`` adds the next exponential delay to the virtual
+    clock and optionally really sleeps; ``allows_another`` is consulted
+    before every attempt.
+    """
+
+    def __init__(self, policy, clock=time.monotonic, sleep=None):
+        self.policy = policy
+        self._clock = clock
+        self._sleep = sleep
+        self._started_at = clock()
+        self.attempts_used = 0
+        self.backoff_accumulated_s = 0.0
+
+    def elapsed_s(self):
+        return (self._clock() - self._started_at) + self.backoff_accumulated_s
+
+    def allows_another(self):
+        return (
+            self.attempts_used < self.policy.max_attempts
+            and self.elapsed_s() < self.policy.max_total_time_s
+        )
+
+    def charge_attempt(self):
+        self.attempts_used += 1
+
+    def charge_backoff(self):
+        """Account (and optionally perform) the next retry's delay."""
+        delay = self.policy.backoff_s(max(self.attempts_used - 1, 0))
+        self.backoff_accumulated_s += delay
+        if self._sleep is not None and delay > 0:
+            self._sleep(delay)
+        return delay

@@ -52,9 +52,29 @@ class TopologyDatabase:
         self.entries.setdefault(key, []).append(topology)
 
     def lookup(self, destination_ip, destination_asn):
-        """Server pairs usable for a client at ``destination_ip``."""
+        """Server pairs usable for a client at ``destination_ip``.
+
+        Returns a *copy*; removing entries goes through
+        :meth:`invalidate`, never by mutating the returned list.
+        """
         key = (prefix_of(destination_ip), destination_asn)
         return list(self.entries.get(key, []))
+
+    def invalidate(self, topology):
+        """Drop ``topology`` from the database (Section 3.4, step 4).
+
+        Called when post-replay verification finds the routes changed,
+        or when an entry turns out to be stale.  Returns True iff the
+        entry was present.
+        """
+        key = (topology.destination_prefix, topology.destination_asn)
+        entries = self.entries.get(key)
+        if not entries or topology not in entries:
+            return False
+        entries.remove(topology)
+        if not entries:
+            del self.entries[key]
+        return True
 
     def __len__(self):
         return sum(len(v) for v in self.entries.values())

@@ -11,6 +11,8 @@ whose last hop is still in a transit AS (condition (a) fails).
 
 from dataclasses import dataclass
 
+from repro.faults import FaultSite, TracerouteTimeoutError, maybe_fire
+
 
 @dataclass(frozen=True)
 class Hop:
@@ -38,13 +40,31 @@ class TracerouteRecord:
         return self.hops[-1].ip
 
 
-def run_traceroute(internet, server, client, rng):
+def run_traceroute(internet, server, client, rng, fault_injector=None):
     """Run a traceroute from ``server`` to ``client``.
 
     Returns a :class:`TracerouteRecord`.  Per-hop RTTs grow along the
     path with jitter; they are cosmetic (TC ignores them) but keep the
     records realistic.
+
+    ``fault_injector`` (a :class:`~repro.faults.FaultInjector`) can
+    make the probe time out (raises :class:`TracerouteTimeoutError`)
+    or return an empty-hop record -- the two failure shapes scamper
+    produces in the wild.
     """
+    if maybe_fire(fault_injector, FaultSite.TRACEROUTE_TIMEOUT):
+        raise TracerouteTimeoutError(
+            f"traceroute {server.name} -> {client.name} timed out"
+        )
+    if maybe_fire(fault_injector, FaultSite.TRACEROUTE_EMPTY):
+        return TracerouteRecord(
+            server_name=server.name,
+            server_ip=server.ip,
+            destination_ip=client.ip,
+            hops=(),
+            links=(),
+            reached_destination=False,
+        )
     isp = internet.isp_of(client)
     route = internet.route(server, client)
     hops = []

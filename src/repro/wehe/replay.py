@@ -155,7 +155,8 @@ def attach_replay(
         # not exist in the paper's testbed.
         jitter = None
         if ack_jitter_rng is not None:
-            jitter = lambda: float(ack_jitter_rng.uniform(0.0, 0.003))
+            def jitter():
+                return float(ack_jitter_rng.uniform(0.0, 0.003))
         reverse = topology.reverse_path(which, None, jitter=jitter)
         sender = TcpSender(
             sim,

@@ -2,12 +2,9 @@
 
 import json
 
-import pytest
-
 from repro.experiments.report import ExperimentSummary
 from repro.experiments.runner import DetectionExperimentRecord
 from repro.experiments.scenarios import ScenarioConfig
-
 
 def record(detected=True, visible=True, retx=0.05):
     return DetectionExperimentRecord(

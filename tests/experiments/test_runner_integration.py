@@ -4,7 +4,6 @@ These run full (but short) simulations; they use reduced durations to
 stay fast while still exercising every moving part together.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.loss_correlation import LossTrendCorrelation
@@ -15,7 +14,6 @@ from repro.experiments.runner import (
 )
 from repro.experiments.scenarios import ScenarioConfig
 from repro.wehe.apps import make_trace
-
 
 @pytest.fixture(scope="module")
 def udp_common_record():

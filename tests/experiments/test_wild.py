@@ -1,8 +1,5 @@
 """Wild-ISP model tests (Section 5)."""
 
-import numpy as np
-import pytest
-
 from repro.experiments.wild import (
     WILD_ISPS,
     DelayedTriggerClassifier,

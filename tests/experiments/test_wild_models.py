@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.wild import WILD_ISPS, IspModel
+from repro.experiments.wild import WILD_ISPS
 
 
 class TestIspCatalogue:

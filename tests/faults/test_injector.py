@@ -1,0 +1,146 @@
+"""Unit tests for the fault-injection core: profiles, injector, retry."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultProfile,
+    FaultRule,
+    FaultSite,
+    RetryBudget,
+    RetryPolicy,
+)
+from repro.faults.injector import MAX_TRUNCATED_SAMPLES
+from repro.faults.profile import ALL_SITES
+
+
+class TestFaultProfile:
+    def test_named_profiles_parse(self):
+        assert FaultProfile.parse("none").rules == ()
+        assert FaultProfile.parse("flaky").name == "flaky"
+        chaos = FaultProfile.parse("chaos")
+        assert {rule.site for rule in chaos.rules} == set(ALL_SITES)
+
+    def test_spec_parsing(self):
+        profile = FaultProfile.parse("replay_abort=0.5,traceroute_timeout=1.0:2")
+        abort = profile.rule_for(FaultSite.REPLAY_ABORT)
+        timeout = profile.rule_for(FaultSite.TRACEROUTE_TIMEOUT)
+        assert abort.probability == 0.5 and abort.max_fires is None
+        assert timeout.probability == 1.0 and timeout.max_fires == 2
+
+    def test_bare_site_means_always(self):
+        rule = FaultProfile.parse("stale_topology").rule_for(FaultSite.STALE_TOPOLOGY)
+        assert rule.probability == 1.0
+
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ValueError):
+            FaultProfile.parse("bgp_hijack=0.5")
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            FaultRule(FaultSite.REPLAY_ABORT, probability=1.5)
+
+    def test_rejects_malformed_spec(self):
+        with pytest.raises(ValueError):
+            FaultProfile.parse("replay_abort=often")
+
+    def test_rejects_duplicate_sites(self):
+        with pytest.raises(ValueError):
+            FaultProfile.parse("replay_abort=0.1,replay_abort=0.9")
+
+
+class TestFaultInjector:
+    def test_same_seed_same_schedule(self):
+        def schedule(seed):
+            injector = FaultInjector(FaultProfile.parse("replay_abort=0.4"), seed)
+            return [injector.fires(FaultSite.REPLAY_ABORT) for _ in range(32)]
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_sites_draw_from_independent_streams(self):
+        """Consulting one site must not shift another site's schedule."""
+        profile = FaultProfile.parse("replay_abort=0.4,traceroute_timeout=0.4")
+        solo = FaultInjector(profile, seed=5)
+        interleaved = FaultInjector(profile, seed=5)
+        expected = [solo.fires(FaultSite.REPLAY_ABORT) for _ in range(16)]
+        got = []
+        for _ in range(16):
+            interleaved.fires(FaultSite.TRACEROUTE_TIMEOUT)
+            got.append(interleaved.fires(FaultSite.REPLAY_ABORT))
+        assert got == expected
+
+    def test_unruled_site_never_fires_and_draws_nothing(self):
+        injector = FaultInjector(FaultProfile.parse("replay_abort=1.0"), seed=0)
+        assert not injector.fires(FaultSite.CORRUPT_LOSS)
+        assert injector.draws_by_site[FaultSite.CORRUPT_LOSS] == 0
+
+    def test_max_fires_caps_the_fault(self):
+        injector = FaultInjector(FaultProfile.parse("replay_abort=1.0:2"), seed=0)
+        fires = [injector.fires(FaultSite.REPLAY_ABORT) for _ in range(5)]
+        assert fires == [True, True, False, False, False]
+        assert injector.fires_by_site[FaultSite.REPLAY_ABORT] == 2
+        assert injector.draws_by_site[FaultSite.REPLAY_ABORT] == 5
+
+    def test_truncation_leaves_too_few_samples(self):
+        injector = FaultInjector(FaultProfile.parse("truncated_samples"), seed=3)
+        truncated = injector.truncate_samples(np.ones(100))
+        assert len(truncated) <= MAX_TRUNCATED_SAMPLES
+
+    def test_corruption_injects_non_finite_loss(self):
+        from repro.netsim.capture import PathMeasurements
+
+        injector = FaultInjector(FaultProfile.parse("corrupt_loss"), seed=3)
+        measurements = PathMeasurements([0.0, 1.0], [0.5], 0.03)
+        injector.corrupt_measurements(measurements)
+        assert not np.all(np.isfinite(measurements.loss_times))
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            base_backoff_s=1.0, backoff_factor=2.0, max_backoff_s=5.0
+        )
+        assert [policy.backoff_s(i) for i in range(4)] == [1.0, 2.0, 4.0, 5.0]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_total_time_s=0.0)
+
+    def test_budget_counts_attempts(self):
+        budget = RetryBudget(RetryPolicy(max_attempts=2), clock=lambda: 0.0)
+        assert budget.allows_another()
+        budget.charge_attempt()
+        assert budget.allows_another()
+        budget.charge_attempt()
+        assert not budget.allows_another()
+
+    def test_budget_accounts_virtual_backoff_against_time_limit(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_backoff_s=4.0, backoff_factor=2.0,
+            max_total_time_s=10.0,
+        )
+        budget = RetryBudget(policy, clock=lambda: 0.0)
+        budget.charge_attempt()
+        assert budget.charge_backoff() == 4.0
+        assert budget.allows_another()
+        budget.charge_attempt()
+        assert budget.charge_backoff() == 8.0
+        assert budget.elapsed_s() == 12.0
+        assert not budget.allows_another()
+
+    def test_budget_sleep_callable_receives_delay(self):
+        slept = []
+        budget = RetryBudget(
+            RetryPolicy(base_backoff_s=0.25),
+            clock=lambda: 0.0,
+            sleep=slept.append,
+        )
+        budget.charge_attempt()
+        budget.charge_backoff()
+        assert slept == [0.25]

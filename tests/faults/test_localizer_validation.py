@@ -1,0 +1,146 @@
+"""Localizer input validation: unusable measurements never raise."""
+
+import numpy as np
+import pytest
+
+from repro.core.localizer import (
+    LocalizationOutcome,
+    Mechanism,
+    SimultaneousReplayResult,
+    WeHeYLocalizer,
+)
+from repro.netsim.capture import PathMeasurements
+from repro.wehe.apps import make_trace
+from repro.wehe.traces import bit_invert
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+@pytest.fixture
+def trace_pair(rng):
+    trace = make_trace("netflix", 60.0, rng)
+    return trace, bit_invert(trace)
+
+
+def healthy_measurements(rng):
+    sends = np.sort(rng.uniform(0, 60, 2000))
+    return PathMeasurements(sends, sends[:40], 0.035)
+
+
+def healthy_result(rng):
+    return SimultaneousReplayResult(
+        samples_1=rng.normal(2e6, 0.05e6, 100),
+        samples_2=rng.normal(2e6, 0.05e6, 100),
+        measurements_1=healthy_measurements(rng),
+        measurements_2=healthy_measurements(rng),
+    )
+
+
+class ScriptedService:
+    """Replay service whose outputs are overridable per test."""
+
+    def __init__(self, rng, single=None, simultaneous=None):
+        self.rng = rng
+        self._single = single
+        self._simultaneous = simultaneous
+        self.simultaneous_calls = 0
+
+    def single_replay(self, trace):
+        if self._single is not None:
+            return self._single
+        return self.rng.normal(2e6, 0.05e6, 100)
+
+    def simultaneous_replay(self, trace):
+        self.simultaneous_calls += 1
+        if self._simultaneous is not None:
+            return self._simultaneous
+        return healthy_result(self.rng)
+
+
+def localize(rng, trace_pair, **service_kwargs):
+    service = ScriptedService(rng, **service_kwargs)
+    localizer = WeHeYLocalizer(rng, rng.normal(0.0, 0.08, 80))
+    original, inverted = trace_pair
+    return localizer.localize(service, original, inverted), service
+
+
+class TestLocalizerValidation:
+    def test_too_few_single_replay_samples(self, rng, trace_pair):
+        report, service = localize(rng, trace_pair, single=np.ones(2))
+        assert report.outcome is LocalizationOutcome.NO_EVIDENCE
+        assert report.mechanism is Mechanism.NONE
+        assert report.invalid
+        assert report.reason_code == "invalid:single-replay:too-few-samples"
+        # Validation short-circuits before the expensive replays run.
+        assert service.simultaneous_calls == 0
+
+    def test_nan_single_replay_samples(self, rng, trace_pair):
+        samples = np.ones(100)
+        samples[3] = np.nan
+        report, _ = localize(rng, trace_pair, single=samples)
+        assert report.reason_code == "invalid:single-replay:non-finite-samples"
+
+    def test_negative_throughput_samples(self, rng, trace_pair):
+        samples = np.ones(100)
+        samples[7] = -1.0
+        report, _ = localize(rng, trace_pair, single=samples)
+        assert report.reason_code == "invalid:single-replay:negative-samples"
+
+    def test_truncated_simultaneous_samples(self, rng, trace_pair):
+        bad = healthy_result(rng)
+        bad.samples_2 = bad.samples_2[:3]
+        report, _ = localize(rng, trace_pair, simultaneous=bad)
+        assert report.invalid
+        assert report.reason_code == "invalid:original-sim-p2:too-few-samples"
+
+    def test_empty_loss_measurements(self, rng, trace_pair):
+        bad = healthy_result(rng)
+        bad.measurements_1 = PathMeasurements([], [], 0.035)
+        report, _ = localize(rng, trace_pair, simultaneous=bad)
+        assert report.reason_code == "invalid:original-sim-p1:empty-measurements"
+
+    def test_nan_loss_timestamps(self, rng, trace_pair):
+        bad = healthy_result(rng)
+        bad.measurements_2.loss_times = np.append(
+            bad.measurements_2.loss_times, np.nan
+        )
+        report, _ = localize(rng, trace_pair, simultaneous=bad)
+        assert report.reason_code == "invalid:original-sim-p2:non-finite-measurements"
+
+    def test_healthy_inputs_are_not_flagged(self, rng, trace_pair):
+        report, _ = localize(rng, trace_pair)
+        assert not report.invalid
+        assert report.reason_code != ""
+
+
+class TestDetectorRobustness:
+    def test_loss_correlation_drops_non_finite_timestamps(self, rng):
+        from repro.core.loss_correlation import LossTrendCorrelation
+
+        m1 = healthy_measurements(rng)
+        m2 = healthy_measurements(rng)
+        m1.loss_times = np.append(m1.loss_times, np.nan)
+        result = LossTrendCorrelation().detect(m1, m2)
+        assert result.common_bottleneck in (True, False)  # no exception
+
+    def test_loss_correlation_handles_unusable_rtt(self, rng):
+        from repro.core.loss_correlation import LossTrendCorrelation
+
+        m1 = healthy_measurements(rng)
+        m2 = healthy_measurements(rng)
+        m2.rtt = float("nan")
+        result = LossTrendCorrelation().detect(m1, m2)
+        assert not result.common_bottleneck
+        assert result.n_intervals_tested == 0
+
+    def test_throughput_comparison_filters_nan_samples(self, rng):
+        from repro.core.throughput_comparison import ThroughputComparison
+
+        x = np.append(rng.normal(2e6, 0.05e6, 100), np.nan)
+        y = np.append(rng.normal(2e6, 0.05e6, 100), np.nan)
+        tdiff = rng.normal(0.0, 0.08, 80)
+        result = ThroughputComparison(rng).detect(x, y, tdiff)
+        assert np.isfinite(result.pvalue)

@@ -1,6 +1,5 @@
 """Tests for the Section-7 extensions: BBR sender and per-flow limiter."""
 
-import numpy as np
 import pytest
 
 from repro.netsim.bbr import BbrSender

@@ -1,15 +1,11 @@
 """Per-flow qdisc behaviour on a live link."""
 
-import numpy as np
-import pytest
-
 from repro.netsim.capture import FlowCapture
 from repro.netsim.engine import Simulator
 from repro.netsim.link import Link
 from repro.netsim.path import Path
 from repro.netsim.per_flow import make_per_flow_limiter
 from repro.netsim.udp import UdpReceiver, UdpSender
-
 
 def cbr_schedule(rate_bps, size, duration):
     gap = size * 8.0 / rate_bps

@@ -157,7 +157,10 @@ class TestDualClassQdisc:
 
     def test_custom_classifier(self):
         qdisc = make_rate_limiter(8e6, 0.035)
-        qdisc.classifier = lambda p: p.flow_id.startswith("video")
+        def classify_video(p):
+            return p.flow_id.startswith("video")
+
+        qdisc.classifier = classify_video
         qdisc.enqueue(packet(flow="video-1"), 0.0)
         qdisc.enqueue(packet(flow="web-1", dscp=1), 0.0)
         assert len(qdisc.tbf) == 1

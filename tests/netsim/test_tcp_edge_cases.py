@@ -1,7 +1,5 @@
 """TCP edge cases: Karn's rule, recovery details, go-back-N, receivers."""
 
-import pytest
-
 from repro.netsim.capture import FlowCapture
 from repro.netsim.engine import Simulator
 from repro.netsim.link import Link
@@ -9,7 +7,6 @@ from repro.netsim.packet import ACK, DATA, Packet
 from repro.netsim.path import DirectPath, Path
 from repro.netsim.queues import DropTailQueue
 from repro.netsim.tcp import MSS, TcpReceiver, TcpSender
-
 
 def build(bandwidth=10e6, qdisc=None, stop_at=8.0, **kwargs):
     sim = Simulator()

@@ -1,7 +1,5 @@
 """CLI behaviour with the extension scenarios."""
 
-import pytest
-
 from repro.cli import main
 
 
