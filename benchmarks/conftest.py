@@ -11,6 +11,23 @@ import pytest
 from repro.wehe.corpus import generate_corpus, tdiff_distribution
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=None,
+        help="worker processes for sweep-based figure suites "
+             "(default: all cores; 1 forces serial execution)",
+    )
+
+
+@pytest.fixture(scope="session")
+def jobs(request):
+    """Sweep parallelism, from ``--jobs`` (None = all cores)."""
+    return request.config.getoption("--jobs")
+
+
 @pytest.fixture(scope="session")
 def tdiff():
     """T_diff from the synthetic historical corpus (seeded)."""

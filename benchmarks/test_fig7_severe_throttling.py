@@ -8,48 +8,43 @@ desynchronization overwhelms the correlation signal.
 
 from conftest import print_header, print_row
 
-from repro.experiments.runner import run_detection_experiment
 from repro.experiments.scenarios import ScenarioConfig
+from repro.parallel import run_detection_sweep
 
 SHARES = (0.25, 0.5, 0.75)
 FACTORS = (1.5, 2.5)
 SEEDS = range(2)
 
 
-def run_fig7():
-    points = []
-    for share in SHARES:
-        for factor in FACTORS:
-            for seed in SEEDS:
-                # Hold the marked-background rate constant across the
-                # share sweep (the paper recalibrates rate/queue per
-                # cell); otherwise low shares let the two replays
-                # dominate the class, which Algorithm 1 does not claim
-                # to handle.
-                config = ScenarioConfig(
-                    app="netflix",
-                    limiter="common",
-                    background_share=share,
-                    background_rate_bps=10e6 / share,
-                    input_rate_factor=factor,
-                    duration=45.0,
-                    seed=40 + seed,
-                )
-                record = run_detection_experiment(config)
-                if not record.differentiation_visible:
-                    continue
-                points.append(
-                    (
-                        record.retx_rate,
-                        record.queuing_delay,
-                        record.verdicts["loss_trend"],
-                    )
-                )
-    return points
+def run_fig7(jobs=None):
+    # Hold the marked-background rate constant across the share sweep
+    # (the paper recalibrates rate/queue per cell); otherwise low
+    # shares let the two replays dominate the class, which Algorithm 1
+    # does not claim to handle.
+    configs = [
+        ScenarioConfig(
+            app="netflix",
+            limiter="common",
+            background_share=share,
+            background_rate_bps=10e6 / share,
+            input_rate_factor=factor,
+            duration=45.0,
+            seed=40 + seed,
+        )
+        for share in SHARES
+        for factor in FACTORS
+        for seed in SEEDS
+    ]
+    records = run_detection_sweep(configs, jobs=jobs)
+    return [
+        (record.retx_rate, record.queuing_delay, record.verdicts["loss_trend"])
+        for record in records
+        if record.differentiation_visible
+    ]
 
 
-def test_fig7_severe_throttling(benchmark):
-    points = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+def test_fig7_severe_throttling(benchmark, jobs):
+    points = benchmark.pedantic(run_fig7, args=(jobs,), rounds=1, iterations=1)
     print_header("Figure 7: (retx rate, queuing delay) vs detection outcome")
     for retx, delay, detected in sorted(points):
         marker = "TP" if detected else "FN"

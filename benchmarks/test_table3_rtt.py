@@ -9,38 +9,40 @@ per experiment and an often-inconclusive Spearman test.
 from conftest import print_header, print_row
 
 from repro.experiments.metrics import RateCounter
-from repro.experiments.runner import run_detection_experiment
-from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.scenarios import rtt_grid
+from repro.parallel import run_detection_sweep
 
 RTT2_VALUES = (0.015, 0.035, 0.060, 0.120)
 SEEDS = range(3)
 APPS = ("netflix", "zoom")
 
 
-def run_table3():
+def run_table3(jobs=None):
+    configs = [
+        config
+        for app in APPS
+        for config in rtt_grid(
+            app,
+            (50 + seed for seed in SEEDS),
+            rtts=RTT2_VALUES,
+            limiter="common",
+            rtt_1=0.035,
+            duration=45.0,
+        )
+    ]
+    records = run_detection_sweep(configs, jobs=jobs)
     table = {}
-    for app in APPS:
-        for rtt_2 in RTT2_VALUES:
-            counter = RateCounter()
-            for seed in SEEDS:
-                config = ScenarioConfig(
-                    app=app,
-                    limiter="common",
-                    rtt_1=0.035,
-                    rtt_2=rtt_2,
-                    duration=45.0,
-                    seed=50 + seed,
-                )
-                record = run_detection_experiment(config)
-                if not record.differentiation_visible:
-                    continue
-                counter.record(True, record.verdicts["loss_trend"])
-            table[(app, rtt_2)] = counter
+    for config, record in zip(configs, records):
+        key = (config.app, config.rtt_2)
+        counter = table.setdefault(key, RateCounter())
+        if not record.differentiation_visible:
+            continue
+        counter.record(True, record.verdicts["loss_trend"])
     return table
 
 
-def test_table3_rtt_sweep(benchmark):
-    table = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+def test_table3_rtt_sweep(benchmark, jobs):
+    table = benchmark.pedantic(run_table3, args=(jobs,), rounds=1, iterations=1)
     print_header("Table 3: FN vs RTT_2 (paper: stable until 120 ms)")
     for (app, rtt_2), counter in sorted(table.items()):
         print_row(f"{app:<10} RTT2={rtt_2*1e3:>5.0f} ms",

@@ -11,37 +11,38 @@ of loss.
 from conftest import print_header, print_row
 
 from repro.experiments.metrics import RateCounter
-from repro.experiments.runner import run_detection_experiment
-from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.scenarios import congestion_grid
+from repro.parallel import run_detection_sweep
 
 CONGESTION = (0.2, 0.95, 1.15)
 SEEDS = range(3)
 APPS = ("zoom", "netflix")
 
 
-def run_table4():
+def run_table4(jobs=None):
+    configs = [
+        config
+        for app in APPS
+        for config in congestion_grid(
+            app,
+            (60 + seed for seed in SEEDS),
+            factors=CONGESTION,
+            limiter="common",
+            duration=45.0,
+        )
+    ]
+    records = run_detection_sweep(configs, jobs=jobs)
     table = {}
-    for app in APPS:
-        for congestion in CONGESTION:
-            counter = RateCounter()
-            for seed in SEEDS:
-                config = ScenarioConfig(
-                    app=app,
-                    limiter="common",
-                    congestion_factor=congestion,
-                    duration=45.0,
-                    seed=60 + seed,
-                )
-                record = run_detection_experiment(config)
-                if not record.differentiation_visible:
-                    continue
-                counter.record(True, record.verdicts["loss_trend"])
-            table[(app, congestion)] = counter
+    for config, record in zip(configs, records):
+        counter = table.setdefault((config.app, config.congestion_factor), RateCounter())
+        if not record.differentiation_visible:
+            continue
+        counter.record(True, record.verdicts["loss_trend"])
     return table
 
 
-def test_table4_congestion(benchmark):
-    table = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+def test_table4_congestion(benchmark, jobs):
+    table = benchmark.pedantic(run_table4, args=(jobs,), rounds=1, iterations=1)
     print_header("Table 4: FN under congestion on the non-common links")
     for (app, congestion), counter in sorted(table.items()):
         print_row(f"{app:<10} load={congestion:.2f}",

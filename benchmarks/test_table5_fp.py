@@ -9,35 +9,37 @@ loss-trend correlation algorithm stays at or below the 5% target
 from conftest import print_header, print_row
 
 from repro.experiments.metrics import RateCounter
-from repro.experiments.runner import run_detection_experiment
 from repro.experiments.scenarios import ScenarioConfig
+from repro.parallel import run_detection_sweep
 
 SEEDS = range(4)
 FACTORS = (1.5, 2.0)
 APPS = ("netflix", "zoom", "skype", "msteams")
 
 
-def run_table5():
+def run_table5(jobs=None):
+    configs = [
+        ScenarioConfig(
+            app=app,
+            limiter="noncommon",
+            input_rate_factor=factor,
+            duration=45.0,
+            seed=70 + seed,
+        )
+        for app in APPS
+        for factor in FACTORS
+        for seed in SEEDS
+    ]
+    records = run_detection_sweep(configs, jobs=jobs)
     table = {}
-    for app in APPS:
-        counter = RateCounter()
-        for factor in FACTORS:
-            for seed in SEEDS:
-                config = ScenarioConfig(
-                    app=app,
-                    limiter="noncommon",
-                    input_rate_factor=factor,
-                    duration=45.0,
-                    seed=70 + seed,
-                )
-                record = run_detection_experiment(config)
-                counter.record(False, record.verdicts["loss_trend"])
-        table[app] = counter
+    for config, record in zip(configs, records):
+        counter = table.setdefault(config.app, RateCounter())
+        counter.record(False, record.verdicts["loss_trend"])
     return table
 
 
-def test_table5_false_positives(benchmark):
-    table = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+def test_table5_false_positives(benchmark, jobs):
+    table = benchmark.pedantic(run_table5, args=(jobs,), rounds=1, iterations=1)
     print_header(
         "Table 5: FP under identical limiters on l1/l2 (target 5%, paper 1-4%)"
     )

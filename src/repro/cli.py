@@ -13,7 +13,7 @@ Examples::
     python -m repro.cli localize --app netflix --limiter common
     python -m repro.cli localize --app zoom --limiter perflow --merge-flows
     python -m repro.cli topology --isps 8 --clients 6
-    python -m repro.cli sweep --limiter noncommon --seeds 5
+    python -m repro.cli sweep --limiter noncommon --seeds 5 --jobs 4
 """
 
 import argparse
@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.localizer import WeHeYLocalizer
 from repro.core.loss_correlation import LossTrendCorrelation
-from repro.experiments.runner import NetsimReplayService, run_detection_experiment
+from repro.experiments.runner import NetsimReplayService
 from repro.faults import FaultInjector, ReplayAbortedError
 from repro.experiments.scenarios import ScenarioConfig
 from repro.experiments.wild import default_tdiff
@@ -136,20 +136,36 @@ def cmd_topology(args):
 
 
 def cmd_sweep(args):
+    from repro.experiments.scenarios import seed_sweep
+    from repro.parallel import run_detection_sweep
+
     detector = {"loss_trend": LossTrendCorrelation()}
     common_exists = args.limiter in ("common", "perflow")
+    configs = list(seed_sweep(_scenario_from(args), range(args.seeds)))
+    fault_profile = (
+        args.fault_profile
+        if getattr(args, "fault_profile", "none") not in (None, "none")
+        else None
+    )
+    records = run_detection_sweep(
+        configs, jobs=args.jobs, detectors=detector, fault_profile=fault_profile
+    )
     bad = 0
-    for seed in range(args.seeds):
-        config = _scenario_from(args).with_(seed=seed)
-        record = run_detection_experiment(config, detectors=detector)
+    scored = 0
+    for record in records:
+        seed = record.config.seed
+        if record.aborted:
+            print(f"seed={seed} aborted (fault injection)")
+            continue
         detected = record.verdicts["loss_trend"]
         wrong = (not detected) if common_exists else detected
         bad += wrong
+        scored += 1
         kind = ("FN" if common_exists else "FP") if wrong else "ok"
         print(f"seed={seed} detected={detected} loss="
               f"{record.loss_rate_1:.3f}/{record.loss_rate_2:.3f} [{kind}]")
     label = "FN" if common_exists else "FP"
-    print(f"{label} rate: {bad}/{args.seeds}")
+    print(f"{label} rate: {bad}/{scored}")
     return 0
 
 
@@ -189,6 +205,16 @@ def build_parser():
     sweep = subparsers.add_parser("sweep", help="run an FN/FP seed sweep")
     _add_scenario_arguments(sweep)
     sweep.add_argument("--seeds", type=int, default=5)
+    sweep.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the sweep (default: all cores; "
+             "1 forces serial execution)",
+    )
+    sweep.add_argument(
+        "--fault-profile", default="none",
+        help="per-cell fault-injection profile (seeded from each "
+             "cell's seed); none, flaky, chaos, or a spec string",
+    )
     sweep.set_defaults(func=cmd_sweep)
     return parser
 

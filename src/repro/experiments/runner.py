@@ -19,7 +19,8 @@ import numpy as np
 
 from repro.core.localizer import SimultaneousReplayResult
 from repro.core.loss_correlation import LossTrendCorrelation
-from repro.faults import FaultSite, ReplayAbortedError, maybe_fire
+from repro.experiments.scenarios import ScenarioConfig
+from repro.faults import FaultInjector, FaultSite, ReplayAbortedError, maybe_fire
 from repro.netsim.background import (
     CountingSink,
     ModulatedPoissonBackground,
@@ -258,20 +259,32 @@ class NetsimReplayService:
         return result
 
 
-@dataclass
+@dataclass(frozen=True)
 class DetectionExperimentRecord:
-    """One Section-6 experiment: detector verdicts plus health metrics."""
+    """One Section-6 experiment: detector verdicts plus health metrics.
 
-    config: object
+    Frozen so records can cross process boundaries (the parallel sweep
+    executor returns them from worker processes) without any risk of a
+    consumer mutating shared state; ``status`` is ``"ok"`` for a
+    completed cell and ``"aborted"`` when fault injection killed the
+    replay before it produced measurements.
+    """
+
+    config: ScenarioConfig
     verdicts: dict = field(default_factory=dict)
     retx_rate: float = 0.0
     queuing_delay: float = 0.0
     loss_rate_1: float = 0.0
     loss_rate_2: float = 0.0
     differentiation_visible: bool = True
+    status: str = "ok"
 
     def verdict(self, name):
         return self.verdicts[name]
+
+    @property
+    def aborted(self):
+        return self.status == "aborted"
 
 
 #: Below this per-path loss rate WeHe would likely not have flagged the
@@ -280,7 +293,12 @@ MIN_VISIBLE_LOSS_RATE = 0.003
 
 
 def run_detection_experiment(
-    config, detectors=None, modified=True, entropy=0, merge_flows=False
+    config,
+    detectors=None,
+    modified=True,
+    entropy=0,
+    merge_flows=False,
+    fault_profile=None,
 ):
     """Run one FN/FP experiment cell.
 
@@ -290,13 +308,37 @@ def run_detection_experiment(
     ``detect(m1, m2)`` method (default: Algorithm 1); pass
     ``modified=False`` to replay unmodified traces (Figure 6's
     ablation).
+
+    ``fault_profile`` (a spec string or :class:`~repro.faults.FaultProfile`)
+    injects failures seeded from ``config.seed``, so the fault schedule
+    of a cell depends only on the cell -- never on how many other cells
+    ran before it or on which worker process it landed in.  An aborted
+    replay returns a record with ``status="aborted"`` instead of
+    raising, which keeps sweep result streams aligned with their
+    config streams.
     """
     if detectors is None:
         detectors = {"loss_trend": LossTrendCorrelation()}
-    service = NetsimReplayService(config, entropy=entropy, merge_flows=merge_flows)
+    injector = None
+    if fault_profile is not None:
+        if isinstance(fault_profile, str):
+            injector = FaultInjector.from_spec(fault_profile, seed=config.seed)
+        else:
+            injector = FaultInjector(fault_profile, seed=config.seed)
+    service = NetsimReplayService(
+        config, entropy=entropy, merge_flows=merge_flows, fault_injector=injector
+    )
     service.modified = modified
     trace = make_trace(config.app, config.duration, service._trace_rng)
-    result = service.simultaneous_replay(trace)
+    try:
+        result = service.simultaneous_replay(trace)
+    except ReplayAbortedError:
+        return DetectionExperimentRecord(
+            config=config,
+            verdicts={},
+            differentiation_visible=False,
+            status="aborted",
+        )
 
     verdicts = {}
     for name, detector in detectors.items():

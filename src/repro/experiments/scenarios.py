@@ -113,3 +113,31 @@ def severity_grid(app, seeds, factors=INPUT_RATE_FACTORS, queues=QUEUE_FACTORS):
                     queue_factor=queue,
                     seed=seed,
                 )
+
+
+def rtt_grid(app, seeds, rtts=RTT2_SWEEP, **common):
+    """The Table-3 grid: asymmetric path RTTs x seeds."""
+    for rtt_2 in rtts:
+        for seed in seeds:
+            yield ScenarioConfig(app=app, rtt_2=rtt_2, seed=seed, **common)
+
+
+def congestion_grid(app, seeds, factors=CONGESTION_FACTORS, **common):
+    """The Table-4 grid: non-common-link congestion x seeds."""
+    for factor in factors:
+        for seed in seeds:
+            yield ScenarioConfig(
+                app=app, congestion_factor=factor, seed=seed, **common
+            )
+
+
+def seed_sweep(base_config, seeds):
+    """One cell replicated across seeds (the FN/FP rate estimator).
+
+    Every sweep generator in this module yields plain configs; feed the
+    list to :func:`repro.parallel.run_detection_sweep` to execute it on
+    all cores, or iterate it serially -- results are identical either
+    way.
+    """
+    for seed in seeds:
+        yield base_config.with_(seed=seed)

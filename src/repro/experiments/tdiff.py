@@ -16,26 +16,35 @@ from repro.wehe.apps import make_trace
 from repro.wehe.traces import bit_invert
 
 
-def simulate_tdiff(n_pairs=25, app="netflix", duration=15.0, base_seed=5000):
+def _tdiff_pair(config):
+    """One back-to-back replay pair; pure function of its config."""
+    service = NetsimReplayService(config)
+    trace = bit_invert(make_trace(config.app, config.duration, service._trace_rng))
+    first = service.single_replay(trace)
+    second = service.single_replay(trace)
+    return relative_mean_difference(first, second)
+
+
+def simulate_tdiff(n_pairs=25, app="netflix", duration=15.0, base_seed=5000, jobs=1):
     """Run ``n_pairs`` back-to-back replay pairs and return t_diff samples.
 
     Each pair replays the bit-inverted trace twice on a path without a
     rate limiter; the two runs see different background traffic (the
     second test happens minutes later), giving genuine normal
-    throughput variation.
+    throughput variation.  Pairs are seeded independently, so
+    ``jobs > 1`` fans them out over cores without changing the samples.
     """
-    values = []
-    for pair in range(n_pairs):
-        config = ScenarioConfig(
+    from repro.parallel import SweepExecutor
+
+    configs = [
+        ScenarioConfig(
             app=app,
             limiter=None,
             input_rate_factor=1.5,
             duration=duration,
             seed=base_seed + pair,
         )
-        service = NetsimReplayService(config)
-        trace = bit_invert(make_trace(app, duration, service._trace_rng))
-        first = service.single_replay(trace)
-        second = service.single_replay(trace)
-        values.append(relative_mean_difference(first, second))
+        for pair in range(n_pairs)
+    ]
+    values = SweepExecutor(jobs).map(_tdiff_pair, configs)
     return np.asarray(values)

@@ -116,6 +116,11 @@ class ModulatedPoissonBackground:
         self._sizes = np.array(sizes)
         self._probs = np.array(probs)
         self._mean_size = float(np.dot(self._sizes, self._probs))
+        # Precomputed CDF: drawing via searchsorted over one uniform is
+        # bit-identical to ``rng.choice(sizes, p=probs)`` (same stream
+        # consumption) at a fraction of the per-call overhead.
+        self._size_cdf = self._probs.cumsum()
+        self._size_cdf /= self._size_cdf[-1]
         if modulation is None:
             modulation = DEFAULT_MODULATION
         self._components = [
@@ -124,29 +129,38 @@ class ModulatedPoissonBackground:
         ]
         self._total_variance = sum(c.sigma**2 for c in self._components)
         self._seq = 0
+        # The modulation state only changes at remodulation ticks, so the
+        # instantaneous rate is cached there instead of being recomputed
+        # (a Python sum plus an exp) for every generated packet.
+        self._cached_rate_bps = self._compute_rate_bps()
         for component in self._components:
             sim.schedule_at(start_at, self._remodulate, component)
         sim.schedule_at(start_at, self._send_next)
 
-    def current_rate_bps(self):
-        """Instantaneous target rate given the modulation state."""
+    def _compute_rate_bps(self):
         log_x = sum(c.state for c in self._components)
         # Subtracting half the total variance keeps the mean rate at 1x.
         return self.mean_rate_bps * float(np.exp(log_x - self._total_variance / 2.0))
+
+    def current_rate_bps(self):
+        """Instantaneous target rate given the modulation state."""
+        return self._cached_rate_bps
 
     def _remodulate(self, component):
         if self.stop_at is not None and self.sim.now >= self.stop_at:
             return
         component.step(self.rng)
+        self._cached_rate_bps = self._compute_rate_bps()
         self.sim.schedule(component.period, self._remodulate, component)
 
     def _send_next(self):
         if self.stop_at is not None and self.sim.now >= self.stop_at:
             return
-        rate_pps = self.current_rate_bps() / (8.0 * self._mean_size)
-        gap = self.rng.exponential(1.0 / rate_pps)
-        size = int(self.rng.choice(self._sizes, p=self._probs))
-        dscp = 1 if self.rng.random() < self.dscp1_fraction else 0
+        rng = self.rng
+        rate_pps = self._cached_rate_bps / (8.0 * self._mean_size)
+        gap = rng.exponential(1.0 / rate_pps)
+        size = int(self._sizes[self._size_cdf.searchsorted(rng.random(), "right")])
+        dscp = 1 if rng.random() < self.dscp1_fraction else 0
         packet = Packet(
             self.flow_id, DATA, self._seq, size, dscp=dscp, sent_at=self.sim.now
         )

@@ -1,9 +1,21 @@
 """Discrete-event simulation engine.
 
-A minimal, fast event loop: events are ``(time, sequence, callback)``
-entries on a binary heap.  The sequence number breaks ties
-deterministically, so two runs with the same seed and the same schedule
-order produce identical results.
+A minimal, fast event loop: events are ``(time, sequence, handle,
+callback, args)`` entries on a binary heap.  The sequence number breaks
+ties deterministically, so two runs with the same seed and the same
+schedule order produce identical results.
+
+Scheduling is split into two tiers so the hot path stays allocation-free:
+
+- :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` are
+  fire-and-forget.  They push a heap entry whose handle slot is ``None``
+  and return nothing -- the overwhelming majority of events (every
+  packet transmission, propagation, background arrival) never needs to
+  be cancelled, so they never pay for an :class:`EventHandle`.
+- :meth:`Simulator.schedule_cancellable` /
+  :meth:`Simulator.schedule_at_cancellable` allocate a real handle and
+  return it.  Only timer-like callers (TCP RTO/pacing timers, link
+  wake-ups) use these.
 """
 
 import heapq
@@ -11,16 +23,19 @@ import itertools
 
 
 class EventHandle:
-    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+    """Handle returned by the ``*_cancellable`` scheduling methods."""
 
-    __slots__ = ("cancelled",)
+    __slots__ = ("cancelled", "_sim")
 
-    def __init__(self):
+    def __init__(self, sim):
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self):
         """Mark the event so the engine skips it when it is popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            self._sim._n_cancelled += 1
 
 
 class Simulator:
@@ -30,11 +45,25 @@ class Simulator:
     simulated time they were scheduled for, in schedule order for ties.
     """
 
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_counter",
+        "_running",
+        "_n_cancelled",
+        "events_processed",
+    )
+
     def __init__(self):
         self._now = 0.0
         self._heap = []
         self._counter = itertools.count()
         self._running = False
+        self._n_cancelled = 0
+        #: Events executed by :meth:`run` over this simulator's lifetime
+        #: (cancelled events are not counted).  ``repro.perf`` reads the
+        #: module-level aggregate via :func:`events_processed_total`.
+        self.events_processed = 0
 
     @property
     def now(self):
@@ -44,12 +73,16 @@ class Simulator:
     def schedule(self, delay, callback, *args):
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
 
-        Returns an :class:`EventHandle` that can be cancelled.  Negative
-        delays are a programming error and raise ``ValueError``.
+        Fire-and-forget: returns ``None``.  Use
+        :meth:`schedule_cancellable` when the event may need cancelling.
+        Negative delays are a programming error and raise ``ValueError``.
         """
+        when = self._now + delay
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        heapq.heappush(
+            self._heap, (when, next(self._counter), None, callback, args)
+        )
 
     def schedule_at(self, when, callback, *args):
         """Schedule ``callback(*args)`` at absolute time ``when``."""
@@ -57,8 +90,26 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {when}; current time is {self._now}"
             )
-        handle = EventHandle()
-        heapq.heappush(self._heap, (when, next(self._counter), handle, callback, args))
+        heapq.heappush(
+            self._heap, (when, next(self._counter), None, callback, args)
+        )
+
+    def schedule_cancellable(self, delay, callback, *args):
+        """Like :meth:`schedule`, but returns a cancellable handle."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at_cancellable(self._now + delay, callback, *args)
+
+    def schedule_at_cancellable(self, when, callback, *args):
+        """Like :meth:`schedule_at`, but returns a cancellable handle."""
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule at {when}; current time is {self._now}"
+            )
+        handle = EventHandle(self)
+        heapq.heappush(
+            self._heap, (when, next(self._counter), handle, callback, args)
+        )
         return handle
 
     def run(self, until=None):
@@ -70,23 +121,45 @@ class Simulator:
         """
         self._running = True
         heap = self._heap
+        pop = heapq.heappop
+        executed = 0
         while heap and self._running:
-            when, _seq, handle, callback, args = heap[0]
+            entry = heap[0]
+            when = entry[0]
             if until is not None and when > until:
                 break
-            heapq.heappop(heap)
-            if handle.cancelled:
+            pop(heap)
+            handle = entry[2]
+            if handle is not None and handle.cancelled:
+                self._n_cancelled -= 1
                 continue
             self._now = when
-            callback(*args)
+            entry[3](*entry[4])
+            executed += 1
         if until is not None and self._now < until:
             self._now = until
         self._running = False
+        self.events_processed += executed
+        _STATS["events"] += executed
 
     def stop(self):
         """Stop the event loop after the currently running callback."""
         self._running = False
 
     def pending(self):
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._heap)
+        """Number of *live* events still queued.
+
+        Cancelled events stay on the heap until popped, but a live
+        counter subtracts them, so this reports real pending work.
+        """
+        return len(self._heap) - self._n_cancelled
+
+
+#: Process-wide event counter; ``repro.perf`` reads it to derive
+#: events/sec across simulators that live and die inside a workload.
+_STATS = {"events": 0}
+
+
+def events_processed_total():
+    """Total events executed by every simulator in this process."""
+    return _STATS["events"]

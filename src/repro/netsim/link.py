@@ -13,6 +13,19 @@ from repro.netsim.queues import DropTailQueue
 class Link:
     """A unidirectional link with bandwidth, propagation delay and a qdisc."""
 
+    __slots__ = (
+        "sim",
+        "name",
+        "bandwidth_bps",
+        "delay_s",
+        "qdisc",
+        "_busy",
+        "_wake_handle",
+        "bytes_sent",
+        "packets_sent",
+        "packets_offered",
+    )
+
     def __init__(self, sim, name, bandwidth_bps, delay_s, qdisc=None):
         if bandwidth_bps <= 0:
             raise ValueError("link bandwidth must be positive")
@@ -37,7 +50,7 @@ class Link:
     def send(self, packet):
         """Offer a packet to this link; it may be queued or dropped."""
         self.packets_offered += 1
-        if self.qdisc.enqueue(packet, self.sim.now):
+        if self.qdisc.enqueue(packet, self.sim._now):
             self._try_transmit()
         # A drop is silent, as on a real device; the transport discovers
         # it through missing ACKs or sequence gaps.
@@ -45,20 +58,21 @@ class Link:
     def _try_transmit(self):
         if self._busy:
             return
-        packet, wake = self.qdisc.dequeue(self.sim.now)
+        sim = self.sim
+        packet, wake = self.qdisc.dequeue(sim._now)
         if packet is None:
             if wake is not None:
                 self._schedule_wake(wake)
             return
         self._busy = True
         tx_time = packet.size * 8.0 / self.bandwidth_bps
-        self.sim.schedule(tx_time, self._transmit_done, packet)
+        sim.schedule(tx_time, self._transmit_done, packet)
 
     def _schedule_wake(self, wake):
         # Keep at most one pending wake-up; earlier ones win.
         if self._wake_handle is not None and not self._wake_handle.cancelled:
             return
-        self._wake_handle = self.sim.schedule_at(
+        self._wake_handle = self.sim.schedule_at_cancellable(
             max(wake, self.sim.now), self._on_wake
         )
 

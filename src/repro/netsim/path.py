@@ -14,6 +14,8 @@ class Path:
     UDP receiver, or a measurement tap).
     """
 
+    __slots__ = ("links", "sink")
+
     def __init__(self, links, sink):
         if not links:
             raise ValueError("a path needs at least one link")
@@ -51,6 +53,8 @@ class DirectPath:
     as a pure delay, which keeps the event count manageable without
     changing forward-path dynamics.
     """
+
+    __slots__ = ("sim", "delay_s", "sink", "jitter")
 
     def __init__(self, sim, delay_s, sink, jitter=None):
         self.sim = sim

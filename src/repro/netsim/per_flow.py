@@ -30,6 +30,17 @@ class PerFlowQdisc:
         fifo_capacity: byte capacity of the non-throttled FIFO.
     """
 
+    __slots__ = (
+        "rate_bps",
+        "burst_bytes",
+        "limit_bytes",
+        "flow_key",
+        "fifo",
+        "_flows",
+        "_rr_order",
+        "_rr_index",
+    )
+
     def __init__(
         self,
         rate_bps,

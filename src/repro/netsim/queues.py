@@ -20,6 +20,16 @@ from collections import deque
 class DropTailQueue:
     """A FIFO with a byte-capacity bound; arrivals that overflow are dropped."""
 
+    __slots__ = (
+        "capacity_bytes",
+        "_queue",
+        "_bytes",
+        "drops",
+        "enqueued",
+        "delay_sum",
+        "delay_samples",
+    )
+
     def __init__(self, capacity_bytes=200_000):
         if capacity_bytes <= 0:
             raise ValueError("queue capacity must be positive")

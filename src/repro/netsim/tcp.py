@@ -209,7 +209,7 @@ class TcpSender:
         release = self.app_source.next_release_after(self.sim.now)
         if release is None:
             return
-        self._app_wait_handle = self.sim.schedule_at(
+        self._app_wait_handle = self.sim.schedule_at_cancellable(
             max(release, self.sim.now + 1e-6), self._on_app_data
         )
 
@@ -248,11 +248,11 @@ class TcpSender:
         gap = self._pacing_interval()
         due = self._last_send_time + gap
         if due > self.sim.now:
-            self._pace_handle = self.sim.schedule_at(due, self._send_loop)
+            self._pace_handle = self.sim.schedule_at_cancellable(due, self._send_loop)
             return
         self._send_one()
         if self._can_send():
-            self._pace_handle = self.sim.schedule(gap, self._send_loop)
+            self._pace_handle = self.sim.schedule_cancellable(gap, self._send_loop)
 
     def _send_one(self):
         if self._retx_queue:
@@ -325,7 +325,7 @@ class TcpSender:
                 return
             self._rto_handle.cancel()
         timeout = min(self.rto * self._rto_backoff, MAX_RTO)
-        self._rto_handle = self.sim.schedule(timeout, self._on_rto)
+        self._rto_handle = self.sim.schedule_cancellable(timeout, self._on_rto)
 
     def _on_rto(self):
         self._rto_handle = None

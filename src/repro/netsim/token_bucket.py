@@ -28,6 +28,8 @@ class TokenBucketFilter:
     exactly a policer.
     """
 
+    __slots__ = ("rate_bps", "burst_bytes", "_queue", "_tokens", "_last_update")
+
     def __init__(self, rate_bps, burst_bytes, limit_bytes):
         if rate_bps <= 0:
             raise ValueError("TBF rate must be positive")
@@ -75,17 +77,25 @@ class TokenBucketFilter:
         return self._queue.enqueue(packet, now)
 
     def dequeue(self, now):
-        head = self._queue.peek()
+        queue = self._queue
+        head = queue.peek()
         if head is None:
             return None, None
-        self._replenish(now)
+        tokens = self._tokens
+        if now > self._last_update:
+            tokens = min(
+                self.burst_bytes,
+                tokens + (now - self._last_update) * self.rate_bps / 8.0,
+            )
+            self._last_update = now
         # The 1e-9 tolerance absorbs float rounding so a wake-up scheduled
         # for "exactly enough tokens" cannot livelock the link.
-        if self._tokens + 1e-9 >= head.size:
-            self._tokens = max(self._tokens - head.size, 0.0)
-            return self._queue.dequeue(now)
-        deficit = head.size - self._tokens
-        wake = now + deficit * 8.0 / self.rate_bps + 1e-9
+        size = head.size
+        if tokens + 1e-9 >= size:
+            self._tokens = tokens - size if tokens > size else 0.0
+            return queue.dequeue(now)
+        self._tokens = tokens
+        wake = now + (size - tokens) * 8.0 / self.rate_bps + 1e-9
         return None, wake
 
 
@@ -96,6 +106,8 @@ class DualClassQdisc:
     throttled class (the paper uses the DSCP field; the default
     classifier does exactly that).
     """
+
+    __slots__ = ("tbf", "fifo", "classifier", "_serve_tbf_next")
 
     def __init__(self, tbf, fifo=None, classifier=None):
         self.tbf = tbf

@@ -1,0 +1,32 @@
+"""Parallel sweep execution.
+
+Every paper figure and table is a sweep of *independent* simulation
+cells: each cell derives all of its randomness from
+``np.random.SeedSequence([config.seed, entropy])``, so no cell's output
+can depend on which worker ran it or in what order.  That makes the
+sweeps embarrassingly parallel -- :class:`SweepExecutor` fans them out
+over a process pool and returns results in input order, byte-identical
+to a serial run.
+
+Usage::
+
+    from repro.parallel import SweepExecutor, run_detection_sweep
+
+    records = run_detection_sweep(configs, jobs=4)
+    # or, for any picklable task:
+    results = SweepExecutor(jobs=4).map(task, items)
+"""
+
+from repro.parallel.executor import (
+    SweepExecutor,
+    default_jobs,
+    run_detection_sweep,
+    run_wild_sweep,
+)
+
+__all__ = [
+    "SweepExecutor",
+    "default_jobs",
+    "run_detection_sweep",
+    "run_wild_sweep",
+]

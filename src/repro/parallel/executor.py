@@ -1,0 +1,138 @@
+"""The process-pool sweep executor.
+
+Determinism argument: a sweep cell is a pure function of its config --
+``run_detection_experiment`` derives every random stream from
+``np.random.SeedSequence([config.seed, entropy])`` and the fault
+injector (when present) is seeded from ``config.seed`` alone.  Workers
+share no mutable state (each process rebuilds its own simulators), and
+``SweepExecutor.map`` preserves input order, so ``jobs=N`` produces the
+same result list as ``jobs=1`` for every N.
+
+The executor degrades gracefully: it runs serially when ``jobs == 1``,
+when there is at most one item, when the platform cannot fork (the
+pool uses the ``fork`` start method so workers inherit the warm module
+state instead of re-importing numpy), or when the task or its results
+turn out not to be picklable.
+"""
+
+import functools
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, process
+
+from repro.experiments.runner import run_detection_experiment
+
+
+def default_jobs():
+    """Default worker count: every core the scheduler gives us."""
+    return os.cpu_count() or 1
+
+
+def fork_available():
+    """True when the ``fork`` start method exists (POSIX)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class SweepExecutor:
+    """Maps a task over independent sweep items, possibly in parallel.
+
+    Parameters:
+        jobs: worker-process count; ``None`` means ``os.cpu_count()``,
+            ``1`` forces serial execution in-process.
+
+    ``map`` returns results in input order.  The task must be a
+    module-level callable (or :func:`functools.partial` of one) so it
+    can cross the process boundary; unpicklable tasks fall back to the
+    serial path rather than failing the sweep.
+    """
+
+    def __init__(self, jobs=None):
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+
+    def map(self, task, items, chunksize=1):
+        """Run ``task(item)`` for every item; returns results in order."""
+        items = list(items)
+        workers = min(self.jobs, len(items))
+        if workers <= 1 or not fork_available():
+            return [task(item) for item in items]
+        ctx = multiprocessing.get_context("fork")
+        try:
+            with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+                return list(pool.map(task, items, chunksize=chunksize))
+        except (pickle.PicklingError, AttributeError, TypeError):
+            # The task (or a result) would not cross the process
+            # boundary; the sweep is still correct run in-process.
+            return [task(item) for item in items]
+        except process.BrokenProcessPool:
+            # A worker died (OOM killer, container limits); rerun the
+            # whole sweep serially -- determinism makes that safe.
+            return [task(item) for item in items]
+
+
+def _detection_cell(config, detectors, modified, entropy, merge_flows, fault_profile):
+    return run_detection_experiment(
+        config,
+        detectors=detectors,
+        modified=modified,
+        entropy=entropy,
+        merge_flows=merge_flows,
+        fault_profile=fault_profile,
+    )
+
+
+def run_detection_sweep(
+    configs,
+    jobs=None,
+    detectors=None,
+    modified=True,
+    entropy=0,
+    merge_flows=False,
+    fault_profile=None,
+):
+    """Run :func:`run_detection_experiment` over every config.
+
+    Returns one :class:`~repro.experiments.runner.DetectionExperimentRecord`
+    per config, in config order, identical for any ``jobs`` value.
+    ``fault_profile`` is applied per cell, seeded from each cell's own
+    ``config.seed``.
+    """
+    task = functools.partial(
+        _detection_cell,
+        detectors=detectors,
+        modified=modified,
+        entropy=entropy,
+        merge_flows=merge_flows,
+        fault_profile=fault_profile,
+    )
+    return SweepExecutor(jobs).map(task, configs)
+
+
+def _wild_cell(cell, sanity_check):
+    from repro.experiments.wild import run_wild_test
+
+    isp_name, app, seed = cell
+    report = run_wild_test(isp_name, app=app, seed=seed, sanity_check=sanity_check)
+    return {
+        "isp": isp_name,
+        "app": app,
+        "seed": seed,
+        "localized": report.localized,
+        "outcome": report.outcome.value,
+        "mechanism": report.mechanism.value,
+    }
+
+
+def run_wild_sweep(isp_names, apps, seeds, jobs=None, sanity_check=False):
+    """Section-5 wild tests over ISPs x apps x seeds, fanned out.
+
+    Returns one summary dict per (isp, app, seed) cell in grid order
+    (isp-major).  Full localization reports hold numpy arrays and
+    simulator-adjacent objects; the summaries keep the cross-process
+    payload small and stable.
+    """
+    cells = [
+        (isp, app, seed) for isp in isp_names for app in apps for seed in seeds
+    ]
+    task = functools.partial(_wild_cell, sanity_check=sanity_check)
+    return SweepExecutor(jobs).map(task, cells)

@@ -1,0 +1,15 @@
+"""Performance regression harness.
+
+``python -m repro.perf`` times the canonical workloads every PR is
+measured against -- a single replay, a simultaneous replay, and a
+3x3x3 detection sweep run serially and in parallel -- then writes
+``BENCH_netsim.json`` with wall times and simulator events/sec, and
+*asserts* that the serial and parallel sweeps produced byte-identical
+results (timing never fails the harness; a determinism violation does).
+
+See DESIGN.md ("Performance architecture") for how to read the output.
+"""
+
+from repro.perf.bench import main, run_benchmarks
+
+__all__ = ["main", "run_benchmarks"]

