@@ -20,12 +20,32 @@ def pytest_addoption(parser):
         help="worker processes for sweep-based figure suites "
              "(default: all cores; 1 forces serial execution)",
     )
+    parser.addoption(
+        "--store",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="experiment-store root: sweep suites reuse cached cells "
+             "and checkpoint completed cells, so an interrupted "
+             "benchmark run resumes instead of restarting",
+    )
 
 
 @pytest.fixture(scope="session")
 def jobs(request):
     """Sweep parallelism, from ``--jobs`` (None = all cores)."""
     return request.config.getoption("--jobs")
+
+
+@pytest.fixture(scope="session")
+def store(request):
+    """Shared :class:`ExperimentStore`, from ``--store`` (None = off)."""
+    root = request.config.getoption("--store")
+    if root is None:
+        return None
+    from repro.store import ExperimentStore
+
+    return ExperimentStore(root)
 
 
 @pytest.fixture(scope="session")

@@ -16,7 +16,7 @@ FACTORS = (1.5, 2.5)
 SEEDS = range(2)
 
 
-def run_fig7(jobs=None):
+def run_fig7(jobs=None, store=None):
     # Hold the marked-background rate constant across the share sweep
     # (the paper recalibrates rate/queue per cell); otherwise low
     # shares let the two replays dominate the class, which Algorithm 1
@@ -35,7 +35,7 @@ def run_fig7(jobs=None):
         for factor in FACTORS
         for seed in SEEDS
     ]
-    records = run_detection_sweep(configs, jobs=jobs)
+    records = run_detection_sweep(configs, jobs=jobs, store=store)
     return [
         (record.retx_rate, record.queuing_delay, record.verdicts["loss_trend"])
         for record in records
@@ -43,8 +43,10 @@ def run_fig7(jobs=None):
     ]
 
 
-def test_fig7_severe_throttling(benchmark, jobs):
-    points = benchmark.pedantic(run_fig7, args=(jobs,), rounds=1, iterations=1)
+def test_fig7_severe_throttling(benchmark, jobs, store):
+    points = benchmark.pedantic(
+        run_fig7, args=(jobs, store), rounds=1, iterations=1
+    )
     print_header("Figure 7: (retx rate, queuing delay) vs detection outcome")
     for retx, delay, detected in sorted(points):
         marker = "TP" if detected else "FN"

@@ -17,7 +17,7 @@ SEEDS = range(3)
 APPS = ("netflix", "zoom")
 
 
-def run_table3(jobs=None):
+def run_table3(jobs=None, store=None):
     configs = [
         config
         for app in APPS
@@ -30,7 +30,7 @@ def run_table3(jobs=None):
             duration=45.0,
         )
     ]
-    records = run_detection_sweep(configs, jobs=jobs)
+    records = run_detection_sweep(configs, jobs=jobs, store=store)
     table = {}
     for config, record in zip(configs, records):
         key = (config.app, config.rtt_2)
@@ -41,8 +41,10 @@ def run_table3(jobs=None):
     return table
 
 
-def test_table3_rtt_sweep(benchmark, jobs):
-    table = benchmark.pedantic(run_table3, args=(jobs,), rounds=1, iterations=1)
+def test_table3_rtt_sweep(benchmark, jobs, store):
+    table = benchmark.pedantic(
+        run_table3, args=(jobs, store), rounds=1, iterations=1
+    )
     print_header("Table 3: FN vs RTT_2 (paper: stable until 120 ms)")
     for (app, rtt_2), counter in sorted(table.items()):
         print_row(f"{app:<10} RTT2={rtt_2*1e3:>5.0f} ms",

@@ -19,7 +19,7 @@ SEEDS = range(3)
 APPS = ("zoom", "netflix")
 
 
-def run_table4(jobs=None):
+def run_table4(jobs=None, store=None):
     configs = [
         config
         for app in APPS
@@ -31,7 +31,7 @@ def run_table4(jobs=None):
             duration=45.0,
         )
     ]
-    records = run_detection_sweep(configs, jobs=jobs)
+    records = run_detection_sweep(configs, jobs=jobs, store=store)
     table = {}
     for config, record in zip(configs, records):
         counter = table.setdefault((config.app, config.congestion_factor), RateCounter())
@@ -41,8 +41,10 @@ def run_table4(jobs=None):
     return table
 
 
-def test_table4_congestion(benchmark, jobs):
-    table = benchmark.pedantic(run_table4, args=(jobs,), rounds=1, iterations=1)
+def test_table4_congestion(benchmark, jobs, store):
+    table = benchmark.pedantic(
+        run_table4, args=(jobs, store), rounds=1, iterations=1
+    )
     print_header("Table 4: FN under congestion on the non-common links")
     for (app, congestion), counter in sorted(table.items()):
         print_row(f"{app:<10} load={congestion:.2f}",

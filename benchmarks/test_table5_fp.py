@@ -17,7 +17,7 @@ FACTORS = (1.5, 2.0)
 APPS = ("netflix", "zoom", "skype", "msteams")
 
 
-def run_table5(jobs=None):
+def run_table5(jobs=None, store=None):
     configs = [
         ScenarioConfig(
             app=app,
@@ -30,7 +30,7 @@ def run_table5(jobs=None):
         for factor in FACTORS
         for seed in SEEDS
     ]
-    records = run_detection_sweep(configs, jobs=jobs)
+    records = run_detection_sweep(configs, jobs=jobs, store=store)
     table = {}
     for config, record in zip(configs, records):
         counter = table.setdefault(config.app, RateCounter())
@@ -38,8 +38,10 @@ def run_table5(jobs=None):
     return table
 
 
-def test_table5_false_positives(benchmark, jobs):
-    table = benchmark.pedantic(run_table5, args=(jobs,), rounds=1, iterations=1)
+def test_table5_false_positives(benchmark, jobs, store):
+    table = benchmark.pedantic(
+        run_table5, args=(jobs, store), rounds=1, iterations=1
+    )
     print_header(
         "Table 5: FP under identical limiters on l1/l2 (target 5%, paper 1-4%)"
     )

@@ -14,6 +14,7 @@ Examples::
     python -m repro.cli localize --app zoom --limiter perflow --merge-flows
     python -m repro.cli topology --isps 8 --clients 6
     python -m repro.cli sweep --limiter noncommon --seeds 5 --jobs 4
+    python -m repro.cli sweep --seeds 8 --store .repro-store --resume --json
 """
 
 import argparse
@@ -147,15 +148,36 @@ def cmd_sweep(args):
         if getattr(args, "fault_profile", "none") not in (None, "none")
         else None
     )
+    store = None
+    if args.store:
+        from repro.store import ExperimentStore
+
+        store = ExperimentStore(args.store)
+    elif args.resume or args.no_cache:
+        print("--resume/--no-cache require --store DIR", file=sys.stderr)
+        return 2
     records = run_detection_sweep(
-        configs, jobs=args.jobs, detectors=detector, fault_profile=fault_profile
+        configs,
+        jobs=args.jobs,
+        detectors=detector,
+        fault_profile=fault_profile,
+        store=store,
+        no_cache=args.no_cache,
     )
+    # Human-readable summary goes to stderr when the record stream owns
+    # stdout, so `repro sweep --json > records.jsonl` stays clean.
+    info = sys.stderr if args.json else sys.stdout
+    if args.json:
+        from repro.store import record_line
+
+        for record in records:
+            print(record_line(record))
     bad = 0
     scored = 0
     for record in records:
         seed = record.config.seed
         if record.aborted:
-            print(f"seed={seed} aborted (fault injection)")
+            print(f"seed={seed} aborted (fault injection)", file=info)
             continue
         detected = record.verdicts["loss_trend"]
         wrong = (not detected) if common_exists else detected
@@ -163,9 +185,14 @@ def cmd_sweep(args):
         scored += 1
         kind = ("FN" if common_exists else "FP") if wrong else "ok"
         print(f"seed={seed} detected={detected} loss="
-              f"{record.loss_rate_1:.3f}/{record.loss_rate_2:.3f} [{kind}]")
+              f"{record.loss_rate_1:.3f}/{record.loss_rate_2:.3f} [{kind}]",
+              file=info)
     label = "FN" if common_exists else "FP"
-    print(f"{label} rate: {bad}/{scored}")
+    print(f"{label} rate: {bad}/{scored}", file=info)
+    if store is not None:
+        run = store.ledger_runs()[-1]
+        print(f"cache: {run['hits']} hits / {run['misses']} misses "
+              f"over {run['cells']} cells (store {store.root})", file=info)
     return 0
 
 
@@ -214,6 +241,27 @@ def build_parser():
         "--fault-profile", default="none",
         help="per-cell fault-injection profile (seeded from each "
              "cell's seed); none, flaky, chaos, or a spec string",
+    )
+    sweep.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="experiment-store root: reuse cached cells, checkpoint "
+             "each completed cell, and record the run in the ledger",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep from --store (cache reuse is "
+             "the default with --store; this flag documents intent and "
+             "errors without --store)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="with --store: recompute every cell (still checkpoints "
+             "fresh results into the store)",
+    )
+    sweep.add_argument(
+        "--json", action="store_true",
+        help="emit one canonical JSONL record per cell on stdout (the "
+             "store serialization); the summary moves to stderr",
     )
     sweep.set_defaults(func=cmd_sweep)
     return parser

@@ -25,7 +25,9 @@ def _tdiff_pair(config):
     return relative_mean_difference(first, second)
 
 
-def simulate_tdiff(n_pairs=25, app="netflix", duration=15.0, base_seed=5000, jobs=1):
+def simulate_tdiff(
+    n_pairs=25, app="netflix", duration=15.0, base_seed=5000, jobs=1, store=None
+):
     """Run ``n_pairs`` back-to-back replay pairs and return t_diff samples.
 
     Each pair replays the bit-inverted trace twice on a path without a
@@ -33,8 +35,13 @@ def simulate_tdiff(n_pairs=25, app="netflix", duration=15.0, base_seed=5000, job
     second test happens minutes later), giving genuine normal
     throughput variation.  Pairs are seeded independently, so
     ``jobs > 1`` fans them out over cores without changing the samples.
+
+    ``store`` (a :class:`~repro.store.ExperimentStore`) caches each
+    pair's t_diff value under a ``kind="tdiff"`` key, so re-estimating
+    the distribution replays nothing.
     """
     from repro.parallel import SweepExecutor
+    from repro.parallel.executor import _run_cached_sweep
 
     configs = [
         ScenarioConfig(
@@ -46,5 +53,28 @@ def simulate_tdiff(n_pairs=25, app="netflix", duration=15.0, base_seed=5000, job
         )
         for pair in range(n_pairs)
     ]
-    values = SweepExecutor(jobs).map(_tdiff_pair, configs)
+    if store is None:
+        values = SweepExecutor(jobs).map(_tdiff_pair, configs)
+        return np.asarray(values)
+    from repro.store import tdiff_cache_key
+
+    keys = [
+        tdiff_cache_key(
+            config,
+            fingerprint=store.fingerprint,
+            schema_version=store.schema_version,
+        )
+        for config in configs
+    ]
+    values = _run_cached_sweep(
+        _tdiff_pair,
+        configs,
+        keys,
+        store,
+        jobs,
+        kind="tdiff",
+        decode=lambda payload: payload["value"],
+        encode=lambda value: {"kind": "tdiff", "value": float(value)},
+        no_cache=False,
+    )
     return np.asarray(values)

@@ -227,18 +227,24 @@ def run_wild_test(isp_name, app="netflix", seed=0, sanity_check=False, tdiff=Non
 
 
 def run_table1_sweep(
-    isp_names=None, apps=("netflix",), seeds=range(3), jobs=None, sanity_check=False
+    isp_names=None,
+    apps=("netflix",),
+    seeds=range(3),
+    jobs=None,
+    sanity_check=False,
+    store=None,
 ):
     """The Table-1 grid (ISPs x apps x seeds) on all cores.
 
     Every cell seeds itself from ``(isp, seed)`` alone, so the sweep is
     embarrassingly parallel; returns per-cell summary dicts in grid
-    order regardless of ``jobs``.
+    order regardless of ``jobs``.  ``store`` caches and resumes cells
+    exactly as in :func:`repro.parallel.run_detection_sweep`.
     """
     from repro.parallel import run_wild_sweep
 
     if isp_names is None:
         isp_names = list(WILD_ISPS)
     return run_wild_sweep(
-        isp_names, apps, list(seeds), jobs=jobs, sanity_check=sanity_check
+        isp_names, apps, list(seeds), jobs=jobs, sanity_check=sanity_check, store=store
     )

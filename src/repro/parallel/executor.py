@@ -25,8 +25,29 @@ from repro.experiments.runner import run_detection_experiment
 
 
 def default_jobs():
-    """Default worker count: every core the scheduler gives us."""
-    return os.cpu_count() or 1
+    """Default worker count: every core the scheduler *actually* gives us.
+
+    ``os.cpu_count()`` reports the machine, not the container --
+    in a cgroup-limited CI job or under ``taskset`` it overcounts, and
+    oversubscribed workers thrash.  Preference order:
+
+    1. ``REPRO_JOBS`` environment variable (explicit operator override;
+       non-integer values are ignored);
+    2. the CPU-affinity mask (:func:`os.sched_getaffinity`, which
+       reflects cgroups/taskset on Linux);
+    3. ``os.cpu_count()`` where affinity is unavailable (macOS);
+    4. 1.
+    """
+    override = os.environ.get("REPRO_JOBS")
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass  # fall through to the detected value
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 def fork_available():
@@ -50,24 +71,50 @@ class SweepExecutor:
     def __init__(self, jobs=None):
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
 
-    def map(self, task, items, chunksize=1):
-        """Run ``task(item)`` for every item; returns results in order."""
+    def map(self, task, items, chunksize=1, on_result=None):
+        """Run ``task(item)`` for every item; returns results in order.
+
+        ``on_result(index, item, result)``, when given, fires as each
+        result becomes available (in input order) -- the checkpoint hook
+        the experiment store uses to persist completed sweep cells
+        before the sweep finishes.  The callback runs in the parent
+        process and must be idempotent: if the pool breaks mid-stream
+        and the sweep falls back to the serial path, already-delivered
+        results are re-delivered.
+        """
         items = list(items)
         workers = min(self.jobs, len(items))
         if workers <= 1 or not fork_available():
-            return [task(item) for item in items]
+            return self._run_serial(task, items, on_result)
         ctx = multiprocessing.get_context("fork")
         try:
             with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-                return list(pool.map(task, items, chunksize=chunksize))
+                results = []
+                for index, result in enumerate(
+                    pool.map(task, items, chunksize=chunksize)
+                ):
+                    if on_result is not None:
+                        on_result(index, items[index], result)
+                    results.append(result)
+                return results
         except (pickle.PicklingError, AttributeError, TypeError):
             # The task (or a result) would not cross the process
             # boundary; the sweep is still correct run in-process.
-            return [task(item) for item in items]
+            return self._run_serial(task, items, on_result)
         except process.BrokenProcessPool:
             # A worker died (OOM killer, container limits); rerun the
             # whole sweep serially -- determinism makes that safe.
-            return [task(item) for item in items]
+            return self._run_serial(task, items, on_result)
+
+    @staticmethod
+    def _run_serial(task, items, on_result=None):
+        results = []
+        for index, item in enumerate(items):
+            result = task(item)
+            if on_result is not None:
+                on_result(index, item, result)
+            results.append(result)
+        return results
 
 
 def _detection_cell(config, detectors, modified, entropy, merge_flows, fault_profile):
@@ -81,6 +128,44 @@ def _detection_cell(config, detectors, modified, entropy, merge_flows, fault_pro
     )
 
 
+def _run_cached_sweep(task, items, keys, store, jobs, kind, decode, encode, no_cache):
+    """Shared store plumbing for every sweep flavour.
+
+    Partitions ``items`` into cache hits and misses, runs only the
+    misses (checkpointing each completed cell the moment its result
+    arrives), records the run in the store's ledger, and returns the
+    merged results in input order.  ``decode``/``encode`` translate
+    between in-memory results and the store's plain-JSON payloads.
+    """
+    results = [None] * len(items)
+    missing = []
+    for index, key in enumerate(keys):
+        payload = None if no_cache else store.get(key)
+        if payload is not None:
+            results[index] = decode(payload)
+        else:
+            missing.append(index)
+    hits = len(items) - len(missing)
+    run_id = store.begin_run(kind=kind, cells=len(items), hits=hits)
+
+    def checkpoint(position, item, result):
+        store.put(keys[missing[position]], encode(result), run_id=run_id)
+
+    computed = SweepExecutor(jobs).map(
+        task, [items[index] for index in missing], on_result=checkpoint
+    )
+    for position, index in enumerate(missing):
+        results[index] = computed[position]
+    store.finish_run(
+        run_id,
+        kind=kind,
+        cells=len(items),
+        hits=hits,
+        misses=len(missing),
+    )
+    return results
+
+
 def run_detection_sweep(
     configs,
     jobs=None,
@@ -89,6 +174,8 @@ def run_detection_sweep(
     entropy=0,
     merge_flows=False,
     fault_profile=None,
+    store=None,
+    no_cache=False,
 ):
     """Run :func:`run_detection_experiment` over every config.
 
@@ -96,7 +183,16 @@ def run_detection_sweep(
     per config, in config order, identical for any ``jobs`` value.
     ``fault_profile`` is applied per cell, seeded from each cell's own
     ``config.seed``.
+
+    ``store`` (a :class:`~repro.store.ExperimentStore`) makes the sweep
+    resumable: cached cells are returned without simulating (records
+    byte-identical to a cold run), and every freshly computed cell is
+    checkpointed as it completes, so a killed sweep re-run with the
+    same store computes only the missing cells.  ``no_cache`` skips the
+    read side (every cell recomputes and overwrites) while still
+    checkpointing.
     """
+    configs = list(configs)
     task = functools.partial(
         _detection_cell,
         detectors=detectors,
@@ -105,7 +201,39 @@ def run_detection_sweep(
         merge_flows=merge_flows,
         fault_profile=fault_profile,
     )
-    return SweepExecutor(jobs).map(task, configs)
+    if store is None:
+        return SweepExecutor(jobs).map(task, configs)
+    from repro.store import (
+        detection_cache_key,
+        record_from_dict,
+        record_to_dict,
+    )
+
+    detector_names = sorted(detectors) if detectors else ["loss_trend"]
+    keys = [
+        detection_cache_key(
+            config,
+            detectors=detector_names,
+            modified=modified,
+            entropy=entropy,
+            merge_flows=merge_flows,
+            fault_profile=fault_profile,
+            fingerprint=store.fingerprint,
+            schema_version=store.schema_version,
+        )
+        for config in configs
+    ]
+    return _run_cached_sweep(
+        task,
+        configs,
+        keys,
+        store,
+        jobs,
+        kind="detection_sweep",
+        decode=record_from_dict,
+        encode=record_to_dict,
+        no_cache=no_cache,
+    )
 
 
 def _wild_cell(cell, sanity_check):
@@ -123,16 +251,46 @@ def _wild_cell(cell, sanity_check):
     }
 
 
-def run_wild_sweep(isp_names, apps, seeds, jobs=None, sanity_check=False):
+def run_wild_sweep(
+    isp_names, apps, seeds, jobs=None, sanity_check=False, store=None, no_cache=False
+):
     """Section-5 wild tests over ISPs x apps x seeds, fanned out.
 
     Returns one summary dict per (isp, app, seed) cell in grid order
     (isp-major).  Full localization reports hold numpy arrays and
     simulator-adjacent objects; the summaries keep the cross-process
-    payload small and stable.
+    payload small and stable.  ``store``/``no_cache`` behave as in
+    :func:`run_detection_sweep` (the summaries are cached under
+    ``kind="wild"`` keys).
     """
     cells = [
         (isp, app, seed) for isp in isp_names for app in apps for seed in seeds
     ]
     task = functools.partial(_wild_cell, sanity_check=sanity_check)
-    return SweepExecutor(jobs).map(task, cells)
+    if store is None:
+        return SweepExecutor(jobs).map(task, cells)
+    from repro.store import wild_cache_key
+    from repro.store.serialize import plain
+
+    keys = [
+        wild_cache_key(
+            isp,
+            app,
+            seed,
+            sanity_check=sanity_check,
+            fingerprint=store.fingerprint,
+            schema_version=store.schema_version,
+        )
+        for isp, app, seed in cells
+    ]
+    return _run_cached_sweep(
+        task,
+        cells,
+        keys,
+        store,
+        jobs,
+        kind="wild_sweep",
+        decode=lambda payload: payload["cell"],
+        encode=lambda cell: {"kind": "wild", "cell": plain(cell)},
+        no_cache=no_cache,
+    )

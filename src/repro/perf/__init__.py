@@ -10,6 +10,11 @@ results (timing never fails the harness; a determinism violation does).
 See DESIGN.md ("Performance architecture") for how to read the output.
 """
 
-from repro.perf.bench import main, run_benchmarks
+from repro.perf.bench import (
+    SchemaMismatchError,
+    compare_benchmarks,
+    main,
+    run_benchmarks,
+)
 
-__all__ = ["main", "run_benchmarks"]
+__all__ = ["SchemaMismatchError", "compare_benchmarks", "main", "run_benchmarks"]

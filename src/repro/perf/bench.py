@@ -17,17 +17,18 @@ violation.
 """
 
 import argparse
-import dataclasses
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 
 from repro.experiments.runner import NetsimReplayService, run_detection_experiment
 from repro.experiments.scenarios import ScenarioConfig, severity_grid
 from repro.netsim.engine import events_processed_total
-from repro.parallel import SweepExecutor, default_jobs, run_detection_sweep
+from repro.parallel import default_jobs, run_detection_sweep
+from repro.store import code_fingerprint, record_line
 from repro.wehe.apps import make_trace
 
 #: The 3x3x3 sweep axes (leading Table-2 values).
@@ -35,10 +36,39 @@ SWEEP_FACTORS = (1.5, 1.3, 2.0)
 SWEEP_QUEUES = (0.5, 0.25, 1.0)
 SWEEP_SEEDS = range(3)
 
+#: Bump whenever the BENCH_netsim.json shape or any workload definition
+#: changes; :func:`compare_benchmarks` refuses to diff across versions.
+BENCH_SCHEMA_VERSION = 2
+
+
+class SchemaMismatchError(RuntimeError):
+    """Two benchmark files whose schemas make a comparison meaningless."""
+
 
 def canonical_record(record):
-    """A byte-stable JSON encoding of one DetectionExperimentRecord."""
-    return json.dumps(dataclasses.asdict(record), sort_keys=True, default=repr)
+    """A byte-stable JSON encoding of one DetectionExperimentRecord.
+
+    Delegates to :func:`repro.store.record_line` -- the same canonical
+    serialization the store shards and ``repro sweep --json`` use, so
+    "byte-identical" means one thing across the whole stack.
+    """
+    return record_line(record)
+
+
+def _git_commit():
+    """The current git commit, or None outside a repo / without git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
 
 
 def _timed(fn):
@@ -87,8 +117,14 @@ def bench_simultaneous_replay(duration):
     }
 
 
-def bench_detection_sweep(duration, jobs):
-    """The 3x3x3 sweep, serial vs parallel, with a determinism check."""
+def bench_detection_sweep(duration, jobs, store=None):
+    """The 3x3x3 sweep, serial vs parallel, with a determinism check.
+
+    With ``store`` set, two extra measurements run through the
+    experiment store: a cold pass (every cell computes and checkpoints)
+    and a warm pass (every cell a cache hit, zero simulations); the
+    warm records must be byte-identical to the serial run.
+    """
     configs = [
         config.with_(duration=duration)
         for config in severity_grid(
@@ -101,10 +137,9 @@ def bench_detection_sweep(duration, jobs):
     parallel, parallel_wall, _ = _timed(
         lambda: run_detection_sweep(configs, jobs=jobs)
     )
-    identical = [canonical_record(r) for r in serial] == [
-        canonical_record(r) for r in parallel
-    ]
-    return {
+    serial_canon = [canonical_record(r) for r in serial]
+    identical = serial_canon == [canonical_record(r) for r in parallel]
+    result = {
         "cells": len(configs),
         "serial_wall_s": serial_wall,
         "serial_events": serial_events,
@@ -116,6 +151,21 @@ def bench_detection_sweep(duration, jobs):
         "speedup": serial_wall / parallel_wall if parallel_wall > 0 else 0.0,
         "identical": identical,
     }
+    if store is not None:
+        _, cold_wall, _ = _timed(
+            lambda: run_detection_sweep(configs, jobs=jobs, store=store, no_cache=True)
+        )
+        warm, warm_wall, warm_events = _timed(
+            lambda: run_detection_sweep(configs, jobs=1, store=store)
+        )
+        result.update(
+            store_cold_wall_s=cold_wall,
+            store_warm_wall_s=warm_wall,
+            store_warm_events=warm_events,  # must be 0: all cache hits
+            store_identical=serial_canon == [canonical_record(r) for r in warm],
+        )
+        result["identical"] = identical and result["store_identical"]
+    return result
 
 
 def bench_cell_repeat(duration):
@@ -126,20 +176,33 @@ def bench_cell_repeat(duration):
     return {"first_wall_s": first, "repeat_wall_s": second}
 
 
-def run_benchmarks(quick=False, jobs=None):
-    """Run every workload; returns the ``BENCH_netsim.json`` payload."""
+def run_benchmarks(quick=False, jobs=None, store_root=None):
+    """Run every workload; returns the ``BENCH_netsim.json`` payload.
+
+    ``store_root`` adds the experiment-store cold/warm workloads (see
+    :func:`bench_detection_sweep`).
+    """
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     replay_duration = 8.0 if quick else 30.0
     sweep_duration = 5.0 if quick else 15.0
+    store = None
+    if store_root is not None:
+        from repro.store import ExperimentStore
+
+        store = ExperimentStore(store_root)
 
     results = {
-        "schema": "BENCH_netsim/1",
+        "schema": f"BENCH_netsim/{BENCH_SCHEMA_VERSION}",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "code_fingerprint": code_fingerprint(),
+        "git_commit": _git_commit(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "quick": quick,
         "host": {
             "platform": platform.platform(),
             "python": platform.python_version(),
             "cpu_count": os.cpu_count(),
+            "affinity_jobs": default_jobs(),
         },
         "workloads": {},
     }
@@ -154,10 +217,60 @@ def run_benchmarks(quick=False, jobs=None):
         bench_cell_repeat(sweep_duration), duration_s=sweep_duration
     )
     workloads["detection_sweep"] = dict(
-        bench_detection_sweep(sweep_duration, jobs), duration_s=sweep_duration
+        bench_detection_sweep(sweep_duration, jobs, store=store),
+        duration_s=sweep_duration,
     )
     results["determinism_ok"] = workloads["detection_sweep"]["identical"]
     return results
+
+
+def compare_benchmarks(baseline, current):
+    """Per-workload wall-time deltas between two BENCH payloads.
+
+    Refuses (raises :class:`SchemaMismatchError`) when the two files
+    were produced by different benchmark schemas or different workload
+    shapes (``quick`` mode) -- comparing those numbers mis-diffs, it
+    does not inform.  A differing ``code_fingerprint`` is expected (the
+    comparison exists to measure code changes) and is reported, not
+    refused.
+    """
+    for payload, name in ((baseline, "baseline"), (current, "current")):
+        if "schema_version" not in payload:
+            raise SchemaMismatchError(
+                f"{name} file predates schema_version stamping "
+                f"(schema {payload.get('schema')!r}); re-run repro.perf "
+                "to regenerate it"
+            )
+    if baseline["schema_version"] != current["schema_version"]:
+        raise SchemaMismatchError(
+            f"schema_version {baseline['schema_version']} != "
+            f"{current['schema_version']}: workload definitions differ, "
+            "refusing to diff"
+        )
+    if baseline.get("quick") != current.get("quick"):
+        raise SchemaMismatchError(
+            "one file is --quick and the other is not: durations differ, "
+            "refusing to diff"
+        )
+    deltas = {}
+    for name, workload in current["workloads"].items():
+        base = baseline["workloads"].get(name)
+        if base is None:
+            continue
+        for field, value in workload.items():
+            if not field.endswith("wall_s") or field not in base:
+                continue
+            before = base[field]
+            deltas[f"{name}.{field}"] = {
+                "baseline_s": before,
+                "current_s": value,
+                "speedup": before / value if value > 0 else 0.0,
+            }
+    return {
+        "baseline_fingerprint": baseline.get("code_fingerprint"),
+        "current_fingerprint": current.get("code_fingerprint"),
+        "deltas": deltas,
+    }
 
 
 def main(argv=None):
@@ -177,9 +290,19 @@ def main(argv=None):
         "--output", default="BENCH_netsim.json",
         help="where to write the results JSON (default: %(default)s)",
     )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="experiment-store root: adds cold/warm cached-sweep "
+             "workloads and verifies cache hits are byte-identical",
+    )
+    parser.add_argument(
+        "--compare", default=None, metavar="BASELINE.json",
+        help="print wall-time deltas against a previous run; refuses "
+             "to diff across mismatched benchmark schemas",
+    )
     args = parser.parse_args(argv)
 
-    results = run_benchmarks(quick=args.quick, jobs=args.jobs)
+    results = run_benchmarks(quick=args.quick, jobs=args.jobs, store_root=args.store)
     with open(args.output, "w") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -195,9 +318,30 @@ def main(argv=None):
     print(f"3x3x3 sweep (jobs={sweep['parallel_jobs']}): "
           f"{sweep['parallel_wall_s']:.2f} s "
           f"(speedup {sweep['speedup']:.2f}x)")
+    if "store_warm_wall_s" in sweep:
+        print(f"store cold / warm    : {sweep['store_cold_wall_s']:.2f} s / "
+              f"{sweep['store_warm_wall_s']:.2f} s "
+              f"({sweep['store_warm_events']} simulated events when warm)")
     print(f"determinism          : "
           f"{'ok' if results['determinism_ok'] else 'VIOLATED'}")
     print(f"wrote {args.output}")
+
+    if args.compare:
+        try:
+            with open(args.compare) as fh:
+                baseline = json.load(fh)
+            report = compare_benchmarks(baseline, results)
+        except SchemaMismatchError as exc:
+            print(f"ERROR: cannot compare against {args.compare}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"compare vs {args.compare} "
+              f"(fingerprint {report['baseline_fingerprint']} -> "
+              f"{report['current_fingerprint']}):")
+        for name, delta in sorted(report["deltas"].items()):
+            print(f"  {name:<34} {delta['baseline_s']:.2f} s -> "
+                  f"{delta['current_s']:.2f} s "
+                  f"({delta['speedup']:.2f}x)")
 
     if not results["determinism_ok"]:
         print(

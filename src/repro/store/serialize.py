@@ -1,0 +1,95 @@
+"""Canonical serialization shared by the store, the CLI, and perf.
+
+Every place that turns a :class:`DetectionExperimentRecord` into bytes
+-- the store's JSONL shards, ``repro sweep --json``, and the perf
+harness's serial-vs-parallel byte-equality check -- goes through this
+module, so "byte-identical" means the same thing everywhere.
+
+Canonical form: plain-JSON dicts (numpy scalars unwrapped, tuples
+listified) dumped with ``sort_keys=True``.  JSON floats round-trip
+exactly (``repr`` shortest-float encoding), which is what lets a cached
+record compare byte-identical to a freshly computed one.
+"""
+
+import dataclasses
+import json
+
+from repro.experiments.runner import DetectionExperimentRecord
+from repro.experiments.scenarios import ScenarioConfig
+
+#: Bump when the serialized record shape changes; stored entries with a
+#: different version are treated as cache misses (see keys/invalidation
+#: rules in DESIGN.md).
+STORE_SCHEMA_VERSION = 1
+
+
+def plain(obj):
+    """Reduce ``obj`` to pure-JSON types (dict/list/str/int/float/bool).
+
+    Numpy scalars are unwrapped via ``.item()`` so that a computed
+    record (which may carry ``np.bool_`` verdicts or ``np.float64``
+    rates) serializes identically to the same record loaded back from
+    JSON.
+    """
+    if obj is None or isinstance(obj, str):
+        return obj
+    if isinstance(obj, bool):
+        return obj
+    if isinstance(obj, int):
+        return int(obj)
+    if isinstance(obj, float):
+        return float(obj)
+    if isinstance(obj, dict):
+        return {str(key): plain(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [plain(value) for value in obj]
+    if hasattr(obj, "item"):  # numpy scalar (incl. np.bool_, np.float32)
+        return plain(obj.item())
+    raise TypeError(f"cannot canonicalize {type(obj).__name__!r} for the store")
+
+
+def canonical_json(obj):
+    """The one true JSON encoding: plain types, sorted keys."""
+    return json.dumps(plain(obj), sort_keys=True)
+
+
+def config_to_dict(config):
+    """A :class:`ScenarioConfig` as a plain-JSON dict."""
+    return plain(dataclasses.asdict(config))
+
+
+def config_from_dict(data):
+    """Rebuild a :class:`ScenarioConfig` (inverse of :func:`config_to_dict`)."""
+    kwargs = dict(data)
+    modulation = kwargs.get("background_modulation")
+    if modulation is not None:
+        kwargs["background_modulation"] = tuple(
+            tuple(part) if isinstance(part, list) else part for part in modulation
+        )
+    return ScenarioConfig(**kwargs)
+
+
+def record_to_dict(record):
+    """A :class:`DetectionExperimentRecord` as a plain-JSON dict."""
+    data = plain(dataclasses.asdict(record))
+    data["kind"] = "detection"
+    return data
+
+
+def record_from_dict(data):
+    """Rebuild a frozen record (inverse of :func:`record_to_dict`)."""
+    kwargs = dict(data)
+    kwargs.pop("kind", None)
+    kwargs["config"] = config_from_dict(kwargs["config"])
+    return DetectionExperimentRecord(**kwargs)
+
+
+def record_line(record):
+    """The canonical one-line JSON form of one detection record.
+
+    This is the line format of ``repro sweep --json`` and the byte
+    string the perf harness and the equivalence tests compare; a record
+    that has been through a store round-trip produces the same line as
+    the record computed cold.
+    """
+    return canonical_json(record_to_dict(record))

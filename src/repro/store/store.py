@@ -1,0 +1,312 @@
+"""The content-addressed experiment store and its run ledger.
+
+On-disk layout (everything under one *store root* directory)::
+
+    <root>/
+      shards/shard-<xx>.jsonl   # records, sharded by key prefix (256 ways)
+      ledger.jsonl              # one start + one finish event per run
+
+Each shard line is one JSON *envelope*::
+
+    {"key": ..., "schema_version": ..., "fingerprint": ...,
+     "run_id": ..., "payload": {...}}
+
+Durability model:
+
+- **Checkpoints are appends.**  Every completed sweep cell is appended
+  to its shard with a single ``O_APPEND`` write, so a killed sweep
+  loses at most the cell in flight; the next run resumes from whatever
+  lines made it to disk.
+- **Rewrites are atomic.**  ``gc`` compacts shards by writing a temp
+  file and ``os.replace``-ing it over the shard, so a crash mid-gc
+  leaves either the old shard or the new one, never a torn file.
+- **Readers never trust a line.**  A truncated tail (crash mid-append),
+  garbage bytes, or an envelope missing fields is counted, logged at
+  debug level, and skipped -- a corrupt shard can cost cache hits but
+  can never crash a sweep.
+
+Staleness: an envelope whose ``schema_version`` or ``fingerprint``
+differs from the store's current values is invisible to ``get`` (a
+cache miss) but kept on disk until ``gc`` removes it -- so flipping
+back to an old code version revalidates its old entries for free.
+"""
+
+import json
+import logging
+import os
+import time
+import uuid
+from pathlib import Path
+
+from repro.store.keys import code_fingerprint
+from repro.store.serialize import STORE_SCHEMA_VERSION, canonical_json
+
+logger = logging.getLogger(__name__)
+
+_ENVELOPE_FIELDS = ("key", "schema_version", "fingerprint", "payload")
+
+
+def _atomic_write_text(path, text):
+    """Write ``text`` to ``path`` via temp-file + rename (atomic on POSIX)."""
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _append_line(path, line):
+    """Append one full line with a single O_APPEND write.
+
+    A crash can leave at most one partial line at the tail, which the
+    tolerant reader skips.
+    """
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, (line + "\n").encode())
+    finally:
+        os.close(fd)
+
+
+def _iter_jsonl(path):
+    """Yield parsed dicts from a JSONL file, skipping unparseable lines.
+
+    Returns via generator; increments no global state -- the caller
+    counts skips through the (line_ok, obj) pairs.
+    """
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return
+    for line in raw.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except (ValueError, UnicodeDecodeError):
+            yield False, None
+            continue
+        if not isinstance(obj, dict):
+            yield False, None
+            continue
+        yield True, obj
+
+
+class ExperimentStore:
+    """Content-addressed record cache + run ledger under one root dir.
+
+    Parameters:
+        root: store directory (created if missing).
+        fingerprint: code fingerprint stamped on writes and required on
+            reads; defaults to :func:`repro.store.keys.code_fingerprint`.
+        schema_version: serialization schema stamped/required likewise.
+    """
+
+    def __init__(self, root, fingerprint=None, schema_version=STORE_SCHEMA_VERSION):
+        self.root = Path(root)
+        self.shard_dir = self.root / "shards"
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
+        self.ledger_path = self.root / "ledger.jsonl"
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.schema_version = schema_version
+        self.skipped_lines = 0
+        self._index = {}  # key -> envelope (current schema/fingerprint only)
+        self._loaded_prefixes = set()
+
+    # -- record cache ---------------------------------------------------
+
+    def _shard_path(self, prefix):
+        return self.shard_dir / f"shard-{prefix}.jsonl"
+
+    def _load_prefix(self, prefix):
+        if prefix in self._loaded_prefixes:
+            return
+        self._loaded_prefixes.add(prefix)
+        path = self._shard_path(prefix)
+        for ok, envelope in _iter_jsonl(path):
+            if not ok or any(field not in envelope for field in _ENVELOPE_FIELDS):
+                self.skipped_lines += 1
+                logger.debug("store: skipping corrupt line in %s", path)
+                continue
+            if (
+                envelope["schema_version"] != self.schema_version
+                or envelope["fingerprint"] != self.fingerprint
+            ):
+                continue  # stale: invisible until gc
+            # Append-wins: a later line for the same key supersedes.
+            self._index[envelope["key"]] = envelope
+
+    def get(self, key):
+        """The payload cached under ``key``, or None (miss/stale/corrupt)."""
+        self._load_prefix(key[:2])
+        envelope = self._index.get(key)
+        return None if envelope is None else envelope["payload"]
+
+    def __contains__(self, key):
+        return self.get(key) is not None
+
+    def put(self, key, payload, run_id=None):
+        """Durably cache ``payload`` (a plain-JSON dict) under ``key``."""
+        envelope = {
+            "key": key,
+            "schema_version": self.schema_version,
+            "fingerprint": self.fingerprint,
+            "run_id": run_id,
+            "payload": payload,
+        }
+        self._load_prefix(key[:2])
+        _append_line(self._shard_path(key[:2]), canonical_json(envelope))
+        self._index[key] = envelope
+
+    def entries(self):
+        """Every live envelope (current schema + fingerprint), all shards."""
+        for path in sorted(self.shard_dir.glob("shard-*.jsonl")):
+            self._load_prefix(path.stem.split("-", 1)[1])
+        return list(self._index.values())
+
+    # -- maintenance ----------------------------------------------------
+
+    def stats(self):
+        """Store-wide counts: live / stale / corrupt lines, bytes, runs."""
+        live = {}
+        stale = 0
+        corrupt = 0
+        total_bytes = 0
+        shards = 0
+        for path in sorted(self.shard_dir.glob("shard-*.jsonl")):
+            shards += 1
+            total_bytes += path.stat().st_size
+            for ok, envelope in _iter_jsonl(path):
+                if not ok or any(f not in envelope for f in _ENVELOPE_FIELDS):
+                    corrupt += 1
+                    continue
+                if (
+                    envelope["schema_version"] != self.schema_version
+                    or envelope["fingerprint"] != self.fingerprint
+                ):
+                    stale += 1
+                    continue
+                live[envelope["key"]] = True
+        runs = self.ledger_runs()
+        return {
+            "root": str(self.root),
+            "records": len(live),
+            "stale": stale,
+            "corrupt_lines": corrupt,
+            "shards": shards,
+            "bytes": total_bytes,
+            "runs": len(runs),
+            "interrupted_runs": sum(r["status"] == "interrupted" for r in runs),
+        }
+
+    def gc(self, dry_run=False):
+        """Compact shards: drop stale/corrupt/superseded lines atomically.
+
+        Returns a dict of counts.  With ``dry_run`` nothing is written.
+        """
+        kept = 0
+        removed = 0
+        for path in sorted(self.shard_dir.glob("shard-*.jsonl")):
+            live = {}
+            lines_seen = 0
+            for ok, envelope in _iter_jsonl(path):
+                lines_seen += 1
+                if (
+                    not ok
+                    or any(f not in envelope for f in _ENVELOPE_FIELDS)
+                    or envelope["schema_version"] != self.schema_version
+                    or envelope["fingerprint"] != self.fingerprint
+                ):
+                    continue
+                live[envelope["key"]] = envelope
+            kept += len(live)
+            removed += lines_seen - len(live)
+            if dry_run or lines_seen == len(live):
+                continue
+            if live:
+                text = "".join(
+                    canonical_json(envelope) + "\n" for envelope in live.values()
+                )
+                _atomic_write_text(path, text)
+            else:
+                path.unlink()
+        if not dry_run:
+            # Force reload so the in-memory index matches the compacted disk.
+            self._index.clear()
+            self._loaded_prefixes.clear()
+        return {"kept": kept, "removed": removed, "dry_run": dry_run}
+
+    # -- run ledger -----------------------------------------------------
+
+    def begin_run(self, kind, cells, hits):
+        """Append a start event; returns the ``run_id``.
+
+        A start event with no matching finish event marks an
+        interrupted run -- exactly the situation ``--resume`` exists
+        for.
+        """
+        run_id = uuid.uuid4().hex[:12]
+        _append_line(
+            self.ledger_path,
+            canonical_json(
+                {
+                    "event": "start",
+                    "run_id": run_id,
+                    "kind": kind,
+                    "cells": int(cells),
+                    "hits": int(hits),
+                    "time": time.time(),
+                }
+            ),
+        )
+        return run_id
+
+    def finish_run(self, run_id, kind, cells, hits, misses, status="complete"):
+        """Append the matching finish event for ``run_id``."""
+        _append_line(
+            self.ledger_path,
+            canonical_json(
+                {
+                    "event": "finish",
+                    "run_id": run_id,
+                    "kind": kind,
+                    "cells": int(cells),
+                    "hits": int(hits),
+                    "misses": int(misses),
+                    "status": status,
+                    "time": time.time(),
+                }
+            ),
+        )
+
+    def ledger_runs(self):
+        """Every run, in ledger order; unfinished runs are "interrupted".
+
+        Each entry has ``run_id``, ``kind``, ``cells``, ``hits``,
+        ``misses`` (None while interrupted) and ``status``.
+        """
+        runs = {}
+        order = []
+        for ok, event in _iter_jsonl(self.ledger_path):
+            if not ok or "run_id" not in event or "event" not in event:
+                self.skipped_lines += 1
+                continue
+            run_id = event["run_id"]
+            if event["event"] == "start":
+                order.append(run_id)
+                runs[run_id] = {
+                    "run_id": run_id,
+                    "kind": event.get("kind"),
+                    "cells": event.get("cells"),
+                    "hits": event.get("hits"),
+                    "misses": None,
+                    "status": "interrupted",
+                    "started": event.get("time"),
+                }
+            elif event["event"] == "finish" and run_id in runs:
+                runs[run_id].update(
+                    hits=event.get("hits"),
+                    misses=event.get("misses"),
+                    status=event.get("status", "complete"),
+                    finished=event.get("time"),
+                )
+        return [runs[run_id] for run_id in order]

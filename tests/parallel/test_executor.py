@@ -60,3 +60,56 @@ class TestSweepExecutor:
 
 def _pid(_):
     return os.getpid()
+
+
+class TestDefaultJobs:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+
+    def test_env_override_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1
+
+    def test_invalid_env_override_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert default_jobs() >= 1
+
+    @pytest.mark.skipif(
+        not hasattr(os, "sched_getaffinity"), reason="no sched_getaffinity"
+    )
+    def test_respects_cpu_affinity(self, monkeypatch):
+        # The affinity mask (what cgroups/taskset actually grant) must
+        # win over the raw machine-wide cpu count.
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == len(os.sched_getaffinity(0))
+
+
+class TestOnResultCheckpointing:
+    def test_serial_streaming_order(self):
+        seen = []
+        executor = SweepExecutor(jobs=1)
+        results = executor.map(
+            _square, range(5), on_result=lambda i, item, r: seen.append((i, item, r))
+        )
+        assert results == [x * x for x in range(5)]
+        assert seen == [(i, i, i * i) for i in range(5)]
+
+    def test_parallel_streaming_order(self):
+        seen = []
+        executor = SweepExecutor(jobs=4)
+        results = executor.map(
+            _square, range(8), on_result=lambda i, item, r: seen.append((i, item, r))
+        )
+        assert results == [x * x for x in range(8)]
+        assert seen == [(i, i, i * i) for i in range(8)]
+
+    def test_fallback_still_fires_callback(self):
+        # Unpicklable task -> serial fallback; callback must still see
+        # every result.
+        seen = []
+        executor = SweepExecutor(jobs=4)
+        executor.map(
+            lambda x: x + 1, range(3), on_result=lambda i, item, r: seen.append(r)
+        )
+        assert seen == [1, 2, 3]

@@ -1,0 +1,65 @@
+"""BENCH_netsim.json versioning: comparable runs diff, mismatches refuse."""
+
+import pytest
+
+from repro.perf import SchemaMismatchError, compare_benchmarks
+from repro.perf.bench import BENCH_SCHEMA_VERSION
+
+
+def _payload(schema_version=BENCH_SCHEMA_VERSION, quick=True, wall=2.0,
+             fingerprint="fp1"):
+    return {
+        "schema": f"BENCH_netsim/{schema_version}",
+        "schema_version": schema_version,
+        "code_fingerprint": fingerprint,
+        "quick": quick,
+        "workloads": {
+            "single_replay": {"wall_s": wall, "events": 1000},
+            "detection_sweep": {
+                "serial_wall_s": wall * 10,
+                "parallel_wall_s": wall * 4,
+                "cells": 27,
+            },
+        },
+    }
+
+
+class TestCompareBenchmarks:
+    def test_matching_schemas_diff_wall_fields(self):
+        report = compare_benchmarks(_payload(wall=2.0), _payload(wall=1.0))
+        deltas = report["deltas"]
+        assert deltas["single_replay.wall_s"]["speedup"] == pytest.approx(2.0)
+        assert deltas["detection_sweep.serial_wall_s"]["baseline_s"] == 20.0
+        # Non-wall fields never appear in the diff.
+        assert "single_replay.events" not in deltas
+        assert "detection_sweep.cells" not in deltas
+
+    def test_fingerprints_reported_not_refused(self):
+        report = compare_benchmarks(
+            _payload(fingerprint="old"), _payload(fingerprint="new")
+        )
+        assert report["baseline_fingerprint"] == "old"
+        assert report["current_fingerprint"] == "new"
+
+    def test_schema_version_mismatch_refused(self):
+        with pytest.raises(SchemaMismatchError, match="refusing to diff"):
+            compare_benchmarks(
+                _payload(schema_version=BENCH_SCHEMA_VERSION - 1), _payload()
+            )
+
+    def test_unversioned_baseline_refused(self):
+        legacy = _payload()
+        del legacy["schema_version"]
+        with pytest.raises(SchemaMismatchError, match="predates"):
+            compare_benchmarks(legacy, _payload())
+
+    def test_quick_vs_full_refused(self):
+        with pytest.raises(SchemaMismatchError, match="quick"):
+            compare_benchmarks(_payload(quick=True), _payload(quick=False))
+
+    def test_missing_workload_in_baseline_is_skipped(self):
+        baseline = _payload()
+        del baseline["workloads"]["single_replay"]
+        report = compare_benchmarks(baseline, _payload())
+        assert "single_replay.wall_s" not in report["deltas"]
+        assert "detection_sweep.serial_wall_s" in report["deltas"]

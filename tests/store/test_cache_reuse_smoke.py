@@ -1,0 +1,48 @@
+"""End-to-end cache-reuse smoke: the CI gate for the experiment store.
+
+Runs the same tiny CLI sweep twice against one store and fails if the
+second run simulates anything (must be 100% cache hits) or if the two
+JSONL record streams differ by a byte.  CI runs exactly this module in
+its cache-smoke job.
+"""
+
+from repro.cli import main as cli_main
+from repro.store import ExperimentStore
+
+
+def _sweep(capsys, root, extra=()):
+    rc = cli_main(
+        [
+            "sweep",
+            "--app",
+            "zoom",
+            "--seeds",
+            "2",
+            "--duration",
+            "4",
+            "--jobs",
+            "1",
+            "--store",
+            str(root),
+            "--json",
+            *extra,
+        ]
+    )
+    assert rc == 0
+    return capsys.readouterr().out
+
+
+def test_second_run_is_all_hits_and_byte_identical(tmp_path, capsys):
+    root = tmp_path / "store"
+    first = _sweep(capsys, root)
+    second = _sweep(capsys, root, extra=["--resume"])
+    assert first == second, "cached records must serialize byte-identically"
+    assert len(first.strip().splitlines()) == 2
+
+    store = ExperimentStore(root)
+    runs = store.ledger_runs()
+    assert len(runs) == 2
+    assert runs[0]["misses"] == 2
+    assert runs[1]["misses"] == 0, f"second run simulated cells: {runs[1]}"
+    assert runs[1]["hits"] == runs[1]["cells"] == 2
+    assert all(run["status"] == "complete" for run in runs)

@@ -1,0 +1,115 @@
+"""Resumable sweeps: the ISSUE's acceptance criterion, as a test.
+
+Cold run == warm run byte-for-byte (serial and parallel), a warm run
+performs zero simulations, and a store with half its records deleted
+(the killed-sweep state) recomputes only the missing cells.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.scenarios import ScenarioConfig, seed_sweep
+from repro.parallel import run_detection_sweep
+from repro.store import ExperimentStore, detection_cache_key, record_line
+
+DURATION = 5.0
+
+
+def _configs(n=4):
+    base = ScenarioConfig(app="zoom", duration=DURATION, seed=0)
+    return list(seed_sweep(base, range(1, n + 1)))
+
+
+def _counting(monkeypatch):
+    """Count actual cell simulations (serial path only)."""
+    import repro.parallel.executor as executor
+
+    calls = []
+    real = executor.run_detection_experiment
+
+    def counted(config, **kwargs):
+        calls.append(config.seed)
+        return real(config, **kwargs)
+
+    monkeypatch.setattr(executor, "run_detection_experiment", counted)
+    return calls
+
+
+@pytest.fixture(scope="module")
+def cold_records():
+    return run_detection_sweep(_configs(), jobs=1)
+
+
+class TestCacheReuse:
+    def test_warm_run_is_byte_identical_and_simulates_nothing(
+        self, tmp_path, monkeypatch, cold_records
+    ):
+        configs = _configs()
+        store = ExperimentStore(tmp_path / "store")
+        first = run_detection_sweep(configs, jobs=1, store=store)
+        calls = _counting(monkeypatch)
+        warm = run_detection_sweep(configs, jobs=1, store=store)
+        assert calls == [], "warm run must not simulate"
+        cold_lines = [record_line(r) for r in cold_records]
+        assert [record_line(r) for r in first] == cold_lines
+        assert [record_line(r) for r in warm] == cold_lines
+
+    def test_warm_run_identical_under_parallel_jobs(self, tmp_path, cold_records):
+        configs = _configs()
+        store = ExperimentStore(tmp_path / "store")
+        run_detection_sweep(configs, jobs=4, store=store)
+        warm = run_detection_sweep(configs, jobs=4, store=store)
+        assert [record_line(r) for r in warm] == [
+            record_line(r) for r in cold_records
+        ]
+        assert store.ledger_runs()[-1]["misses"] == 0
+
+    def test_no_cache_recomputes_every_cell(self, tmp_path, monkeypatch):
+        configs = _configs(n=2)
+        store = ExperimentStore(tmp_path / "store")
+        run_detection_sweep(configs, jobs=1, store=store)
+        calls = _counting(monkeypatch)
+        run_detection_sweep(configs, jobs=1, store=store, no_cache=True)
+        assert len(calls) == len(configs)
+        assert store.ledger_runs()[-1]["hits"] == 0
+
+
+class TestResumeAfterKill:
+    def _delete_keys(self, store, keys):
+        """Surgically remove ``keys`` from the shards (the killed-sweep
+        state: some cells checkpointed, some never written)."""
+        doomed = set(keys)
+        for shard in store.shard_dir.glob("shard-*.jsonl"):
+            lines = [
+                line
+                for line in shard.read_text().splitlines()
+                if json.loads(line)["key"] not in doomed
+            ]
+            if lines:
+                shard.write_text("".join(line + "\n" for line in lines))
+            else:
+                shard.unlink()
+
+    def test_resume_computes_only_missing_cells(
+        self, tmp_path, monkeypatch, cold_records
+    ):
+        configs = _configs()
+        store = ExperimentStore(tmp_path / "store")
+        run_detection_sweep(configs, jobs=1, store=store)
+        keys = [
+            detection_cache_key(config, fingerprint=store.fingerprint)
+            for config in configs
+        ]
+        # Kill scenario: the second half of the sweep never checkpointed.
+        self._delete_keys(store, keys[len(keys) // 2:])
+        resumed_store = ExperimentStore(tmp_path / "store")
+        calls = _counting(monkeypatch)
+        resumed = run_detection_sweep(configs, jobs=1, store=resumed_store)
+        assert calls == [config.seed for config in configs[len(configs) // 2:]]
+        assert [record_line(r) for r in resumed] == [
+            record_line(r) for r in cold_records
+        ]
+        run = resumed_store.ledger_runs()[-1]
+        assert run["hits"] == len(configs) // 2
+        assert run["misses"] == len(configs) - len(configs) // 2

@@ -1,0 +1,169 @@
+"""Store round-trip, staleness, corruption tolerance, gc, and the ledger."""
+
+import json
+
+from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.runner import DetectionExperimentRecord
+from repro.store import (
+    ExperimentStore,
+    config_from_dict,
+    config_to_dict,
+    record_from_dict,
+    record_line,
+    record_to_dict,
+)
+
+
+def _record(seed=0, **kwargs):
+    config = ScenarioConfig(app="zoom", duration=8.0, seed=seed)
+    return DetectionExperimentRecord(
+        config=config,
+        verdicts={"loss_trend": True},
+        retx_rate=0.125,
+        queuing_delay=0.01,
+        loss_rate_1=0.004,
+        loss_rate_2=0.0055,
+        differentiation_visible=True,
+        **kwargs,
+    )
+
+
+def _store(tmp_path, **kwargs):
+    kwargs.setdefault("fingerprint", "testfp")
+    return ExperimentStore(tmp_path / "store", **kwargs)
+
+
+class TestRoundTrip:
+    def test_config_round_trip(self):
+        config = ScenarioConfig(
+            app="netflix", background_modulation=((0.2, 0.3, 0.8), (1.0, 0.35, 0.85))
+        )
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_record_round_trip_is_byte_identical(self):
+        record = _record()
+        loaded = record_from_dict(record_to_dict(record))
+        assert record_line(loaded) == record_line(record)
+        assert loaded.config == record.config
+
+    def test_aborted_record_round_trip(self):
+        record = _record(status="aborted")
+        loaded = record_from_dict(record_to_dict(record))
+        assert loaded.aborted
+        assert record_line(loaded) == record_line(record)
+
+    def test_put_get_through_disk(self, tmp_path):
+        store = _store(tmp_path)
+        store.put("ab" + "0" * 62, record_to_dict(_record()))
+        # A fresh instance must read from disk, not the writer's memory.
+        fresh = _store(tmp_path)
+        payload = fresh.get("ab" + "0" * 62)
+        assert record_line(record_from_dict(payload)) == record_line(_record())
+
+    def test_get_missing_is_none(self, tmp_path):
+        assert _store(tmp_path).get("ff" + "0" * 62) is None
+
+    def test_append_wins(self, tmp_path):
+        store = _store(tmp_path)
+        key = "cd" + "0" * 62
+        store.put(key, record_to_dict(_record(seed=0)))
+        store.put(key, record_to_dict(_record(seed=1)))
+        fresh = _store(tmp_path)
+        assert fresh.get(key)["config"]["seed"] == 1
+
+
+class TestStaleness:
+    def test_schema_version_mismatch_is_a_miss(self, tmp_path):
+        old = _store(tmp_path, schema_version=1)
+        key = "ab" + "1" * 62
+        old.put(key, record_to_dict(_record()))
+        new = _store(tmp_path, schema_version=2)
+        assert new.get(key) is None
+
+    def test_fingerprint_mismatch_is_a_miss_until_code_reverts(self, tmp_path):
+        key = "ab" + "2" * 62
+        _store(tmp_path, fingerprint="old").put(key, record_to_dict(_record()))
+        assert _store(tmp_path, fingerprint="new").get(key) is None
+        # Flipping back to the old code revalidates the old entries.
+        assert _store(tmp_path, fingerprint="old").get(key) is not None
+
+
+class TestCorruptionTolerance:
+    def _shard_paths(self, store):
+        return sorted(store.shard_dir.glob("shard-*.jsonl"))
+
+    def test_corrupt_lines_are_skipped_not_fatal(self, tmp_path):
+        store = _store(tmp_path)
+        key = "ee" + "0" * 62
+        store.put(key, record_to_dict(_record()))
+        (shard,) = self._shard_paths(store)
+        with open(shard, "a") as fh:
+            fh.write("this is not json\n")
+            fh.write('{"key": "truncated envelope"}\n')
+            fh.write('["not", "a", "dict"]\n')
+            fh.write('{"key": "xy", "schema_version"')  # torn tail, no newline
+        fresh = _store(tmp_path)
+        assert fresh.get(key) is not None
+        assert fresh.skipped_lines == 4
+
+    def test_fully_garbage_shard_never_crashes(self, tmp_path):
+        store = _store(tmp_path)
+        (store.shard_dir / "shard-aa.jsonl").write_bytes(b"\x00\xff garbage\n{{{\n")
+        assert store.get("aa" + "0" * 62) is None
+
+    def test_gc_compacts_and_drops_stale(self, tmp_path):
+        old = _store(tmp_path, fingerprint="old")
+        new = _store(tmp_path, fingerprint="testfp")
+        key_stale = "aa" + "3" * 62
+        key_live = "aa" + "4" * 62
+        old.put(key_stale, record_to_dict(_record()))
+        new.put(key_live, record_to_dict(_record(seed=0)))
+        new.put(key_live, record_to_dict(_record(seed=1)))  # superseded line
+        (shard,) = self._shard_paths(new)
+        with open(shard, "a") as fh:
+            fh.write("garbage\n")
+        result = _store(tmp_path).gc()
+        assert result == {"kept": 1, "removed": 3, "dry_run": False}
+        survivor = _store(tmp_path)
+        assert survivor.get(key_live)["config"]["seed"] == 1
+        assert survivor.get(key_stale) is None
+        # The shard on disk now holds exactly one intact line.
+        lines = shard.read_text().splitlines()
+        assert len(lines) == 1 and json.loads(lines[0])["key"] == key_live
+
+    def test_gc_dry_run_touches_nothing(self, tmp_path):
+        store = _store(tmp_path)
+        key = "bb" + "0" * 62
+        store.put(key, record_to_dict(_record(seed=0)))
+        store.put(key, record_to_dict(_record(seed=1)))
+        result = _store(tmp_path).gc(dry_run=True)
+        assert result["removed"] == 1
+        (shard,) = self._shard_paths(store)
+        assert len(shard.read_text().splitlines()) == 2
+
+
+class TestLedger:
+    def test_runs_record_hits_and_misses(self, tmp_path):
+        store = _store(tmp_path)
+        run_id = store.begin_run(kind="detection_sweep", cells=4, hits=1)
+        store.finish_run(run_id, kind="detection_sweep", cells=4, hits=1, misses=3)
+        (run,) = _store(tmp_path).ledger_runs()
+        assert run["run_id"] == run_id
+        assert (run["cells"], run["hits"], run["misses"]) == (4, 1, 3)
+        assert run["status"] == "complete"
+
+    def test_unfinished_run_reads_as_interrupted(self, tmp_path):
+        store = _store(tmp_path)
+        store.begin_run(kind="detection_sweep", cells=4, hits=0)
+        (run,) = _store(tmp_path).ledger_runs()
+        assert run["status"] == "interrupted"
+        assert run["misses"] is None
+
+    def test_corrupt_ledger_lines_are_skipped(self, tmp_path):
+        store = _store(tmp_path)
+        run_id = store.begin_run(kind="tdiff", cells=1, hits=0)
+        with open(store.ledger_path, "a") as fh:
+            fh.write("not json\n")
+        store.finish_run(run_id, kind="tdiff", cells=1, hits=0, misses=1)
+        (run,) = _store(tmp_path).ledger_runs()
+        assert run["status"] == "complete"
