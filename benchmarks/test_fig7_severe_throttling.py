@@ -9,7 +9,7 @@ desynchronization overwhelms the correlation signal.
 from conftest import print_header, print_row
 
 from repro.experiments.scenarios import ScenarioConfig
-from repro.parallel import run_detection_sweep
+from repro.api import SweepRequest, run_sweep
 
 SHARES = (0.25, 0.5, 0.75)
 FACTORS = (1.5, 2.5)
@@ -35,7 +35,9 @@ def run_fig7(jobs=None, store=None):
         for factor in FACTORS
         for seed in SEEDS
     ]
-    records = run_detection_sweep(configs, jobs=jobs, store=store)
+    records = run_sweep(
+        SweepRequest.detection(configs, jobs=jobs, store=store)
+    ).results
     return [
         (record.retx_rate, record.queuing_delay, record.verdicts["loss_trend"])
         for record in records

@@ -10,7 +10,7 @@ from conftest import print_header, print_row
 
 from repro.experiments.metrics import RateCounter
 from repro.experiments.scenarios import rtt_grid
-from repro.parallel import run_detection_sweep
+from repro.api import SweepRequest, run_sweep
 
 RTT2_VALUES = (0.015, 0.035, 0.060, 0.120)
 SEEDS = range(3)
@@ -30,7 +30,9 @@ def run_table3(jobs=None, store=None):
             duration=45.0,
         )
     ]
-    records = run_detection_sweep(configs, jobs=jobs, store=store)
+    records = run_sweep(
+        SweepRequest.detection(configs, jobs=jobs, store=store)
+    ).results
     table = {}
     for config, record in zip(configs, records):
         key = (config.app, config.rtt_2)

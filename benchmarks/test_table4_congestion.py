@@ -12,7 +12,7 @@ from conftest import print_header, print_row
 
 from repro.experiments.metrics import RateCounter
 from repro.experiments.scenarios import congestion_grid
-from repro.parallel import run_detection_sweep
+from repro.api import SweepRequest, run_sweep
 
 CONGESTION = (0.2, 0.95, 1.15)
 SEEDS = range(3)
@@ -31,7 +31,9 @@ def run_table4(jobs=None, store=None):
             duration=45.0,
         )
     ]
-    records = run_detection_sweep(configs, jobs=jobs, store=store)
+    records = run_sweep(
+        SweepRequest.detection(configs, jobs=jobs, store=store)
+    ).results
     table = {}
     for config, record in zip(configs, records):
         counter = table.setdefault((config.app, config.congestion_factor), RateCounter())

@@ -10,7 +10,7 @@ from conftest import print_header, print_row
 
 from repro.experiments.metrics import RateCounter
 from repro.experiments.scenarios import ScenarioConfig
-from repro.parallel import run_detection_sweep
+from repro.api import SweepRequest, run_sweep
 
 SEEDS = range(4)
 FACTORS = (1.5, 2.0)
@@ -30,7 +30,9 @@ def run_table5(jobs=None, store=None):
         for factor in FACTORS
         for seed in SEEDS
     ]
-    records = run_detection_sweep(configs, jobs=jobs, store=store)
+    records = run_sweep(
+        SweepRequest.detection(configs, jobs=jobs, store=store)
+    ).results
     table = {}
     for config, record in zip(configs, records):
         counter = table.setdefault(config.app, RateCounter())

@@ -18,6 +18,12 @@ The package is organized as:
   (Algorithms 2-4), and the end-to-end localizer.
 - :mod:`repro.experiments` -- the evaluation harness reproducing every
   table and figure of the paper's evaluation.
+- :mod:`repro.api` -- the supported programmatic surface: one
+  ``run_sweep(SweepRequest) -> SweepResult`` facade over every sweep
+  flavour (detection, wild, t_diff).
+- :mod:`repro.obs` -- opt-in observability: counters/histograms from
+  the netsim hot path, spans around coordinator/localizer/store
+  activity, JSONL and table exporters.  Zero overhead when disabled.
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,297 @@
+"""``repro.api`` -- the supported programmatic surface for sweeps.
+
+Every paper table and figure is a sweep of independent cells, and the
+repo grew one entry point per flavour (``run_detection_sweep``,
+``run_wild_sweep``, ``simulate_tdiff``, ``run_table1_sweep``), each
+with its own keyword surface.  This module unifies them behind one
+request/result pair::
+
+    from repro.api import SweepRequest, run_sweep
+
+    result = run_sweep(SweepRequest.detection(configs, jobs=4))
+    records = result.results          # same list the legacy call returned
+    result.hits, result.misses        # cache accounting (0 hits without a store)
+
+    result = run_sweep(
+        SweepRequest.wild(store=store, metrics="metrics.jsonl")
+    )
+    result.metrics                    # repro.obs snapshot (also written as JSONL)
+
+Common options on every request:
+
+- ``jobs``: worker processes (``None`` = all cores, ``1`` = serial);
+- ``store`` / ``no_cache``: an :class:`repro.store.ExperimentStore`
+  for resumable, checkpointed sweeps;
+- ``on_result(index, item, result)``: streaming callback, fired for
+  every *freshly computed* cell in completion order with the cell's
+  original index.  A raising callback is logged and skipped, never
+  fatal;
+- ``metrics``: ``True`` collects a :mod:`repro.obs` snapshot onto the
+  result; a path string additionally exports it as JSONL.  Collection
+  never changes any sweep result byte.
+
+The legacy entry points still work but emit ``DeprecationWarning`` and
+delegate here.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.obs import MetricsSink, use_sink, write_jsonl
+from repro.obs import metrics as _obs
+
+_KINDS = ("detection", "wild", "tdiff")
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """One sweep to run: a kind, its parameters, and execution options.
+
+    Build requests with the :meth:`detection` / :meth:`wild` /
+    :meth:`tdiff` constructors rather than directly -- they enforce
+    per-kind parameter validity (e.g. ``fault_profile`` exists only for
+    detection sweeps).
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+    jobs: object = None
+    store: object = None
+    no_cache: bool = False
+    on_result: object = None
+    metrics: object = None
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown sweep kind {self.kind!r}; expected one of {_KINDS}"
+            )
+        if self.on_result is not None and not callable(self.on_result):
+            raise TypeError("on_result must be callable")
+
+    @classmethod
+    def detection(
+        cls,
+        configs,
+        *,
+        detectors=None,
+        modified=True,
+        entropy=0,
+        merge_flows=False,
+        fault_profile=None,
+        jobs=None,
+        store=None,
+        no_cache=False,
+        on_result=None,
+        metrics=None,
+    ):
+        """A Section-6 FN/FP sweep: one cell per :class:`ScenarioConfig`.
+
+        Results are
+        :class:`~repro.experiments.runner.DetectionExperimentRecord`
+        objects in config order.  ``fault_profile`` injects per-cell
+        failures seeded from each cell's own ``config.seed``.
+        """
+        return cls(
+            kind="detection",
+            params={
+                "configs": list(configs),
+                "detectors": detectors,
+                "modified": modified,
+                "entropy": entropy,
+                "merge_flows": merge_flows,
+                "fault_profile": fault_profile,
+            },
+            jobs=jobs,
+            store=store,
+            no_cache=no_cache,
+            on_result=on_result,
+            metrics=metrics,
+        )
+
+    @classmethod
+    def wild(
+        cls,
+        isp_names=None,
+        *,
+        apps=("netflix",),
+        seeds=range(3),
+        sanity_check=False,
+        jobs=None,
+        store=None,
+        no_cache=False,
+        on_result=None,
+        metrics=None,
+    ):
+        """A Section-5 wild-ISP sweep over ISPs x apps x seeds.
+
+        ``isp_names=None`` means every Table-1 ISP.  Results are
+        per-cell summary dicts in grid order (isp-major).
+        """
+        return cls(
+            kind="wild",
+            params={
+                "isp_names": None if isp_names is None else list(isp_names),
+                "apps": tuple(apps),
+                "seeds": list(seeds),
+                "sanity_check": sanity_check,
+            },
+            jobs=jobs,
+            store=store,
+            no_cache=no_cache,
+            on_result=on_result,
+            metrics=metrics,
+        )
+
+    @classmethod
+    def tdiff(
+        cls,
+        n_pairs=25,
+        *,
+        app="netflix",
+        duration=15.0,
+        base_seed=5000,
+        jobs=1,
+        store=None,
+        no_cache=False,
+        on_result=None,
+        metrics=None,
+    ):
+        """A T_diff estimation sweep (back-to-back replay pairs).
+
+        Results are a float ndarray of ``n_pairs`` t_diff samples.
+        """
+        return cls(
+            kind="tdiff",
+            params={
+                "n_pairs": int(n_pairs),
+                "app": app,
+                "duration": duration,
+                "base_seed": base_seed,
+            },
+            jobs=jobs,
+            store=store,
+            no_cache=no_cache,
+            on_result=on_result,
+            metrics=metrics,
+        )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """What :func:`run_sweep` returns.
+
+    ``results`` has exactly the shape the corresponding legacy entry
+    point returned (records list, summary-dict list, or ndarray).
+    ``hits``/``misses`` count cache activity (``hits == 0`` when no
+    store was used); ``metrics`` is a :mod:`repro.obs` snapshot dict
+    when the request asked for one, else ``None``.
+    """
+
+    kind: str
+    results: object
+    cells: int
+    hits: int
+    misses: int
+    metrics: object = None
+
+    def __len__(self):
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+
+def _run_detection(request):
+    from repro.parallel.executor import _detection_sweep
+
+    return _detection_sweep(
+        request.params["configs"],
+        detectors=request.params["detectors"],
+        modified=request.params["modified"],
+        entropy=request.params["entropy"],
+        merge_flows=request.params["merge_flows"],
+        fault_profile=request.params["fault_profile"],
+        jobs=request.jobs,
+        store=request.store,
+        no_cache=request.no_cache,
+        on_result=request.on_result,
+    )
+
+
+def _run_wild(request):
+    from repro.experiments.wild import WILD_ISPS
+    from repro.parallel.executor import _wild_sweep
+
+    isp_names = request.params["isp_names"]
+    if isp_names is None:
+        isp_names = list(WILD_ISPS)
+    return _wild_sweep(
+        isp_names,
+        request.params["apps"],
+        request.params["seeds"],
+        sanity_check=request.params["sanity_check"],
+        jobs=request.jobs,
+        store=request.store,
+        no_cache=request.no_cache,
+        on_result=request.on_result,
+    )
+
+
+def _run_tdiff(request):
+    from repro.experiments.tdiff import _tdiff_sweep
+
+    return _tdiff_sweep(
+        n_pairs=request.params["n_pairs"],
+        app=request.params["app"],
+        duration=request.params["duration"],
+        base_seed=request.params["base_seed"],
+        jobs=request.jobs if request.jobs is not None else 1,
+        store=request.store,
+        no_cache=request.no_cache,
+        on_result=request.on_result,
+    )
+
+
+_DISPATCH = {
+    "detection": _run_detection,
+    "wild": _run_wild,
+    "tdiff": _run_tdiff,
+}
+
+
+def run_sweep(request):
+    """Run one :class:`SweepRequest`; returns a :class:`SweepResult`.
+
+    When the request asks for metrics, the whole sweep runs under a
+    fresh :class:`repro.obs.MetricsSink` (worker-process deltas are
+    merged in by the executor), the snapshot lands on
+    ``SweepResult.metrics``, and -- if ``metrics`` is a path string --
+    is also written there as JSONL.  If an outer sink was already
+    active, the sweep's snapshot is folded into it too, so nested
+    collection composes.  Metrics never alter sweep results.
+    """
+    impl = _DISPATCH[request.kind]
+    collect = request.metrics is not None and request.metrics is not False
+    if not collect:
+        results, hits, misses = impl(request)
+        snapshot = None
+    else:
+        outer = _obs.SINK if _obs.ENABLED else None
+        with use_sink(MetricsSink()) as sink:
+            results, hits, misses = impl(request)
+            snapshot = sink.snapshot()
+        if isinstance(request.metrics, str) and request.metrics:
+            write_jsonl(snapshot, request.metrics)
+        if outer is not None:
+            outer.merge(snapshot)
+    return SweepResult(
+        kind=request.kind,
+        results=results,
+        cells=hits + misses,
+        hits=hits,
+        misses=misses,
+        metrics=snapshot,
+    )
+
+
+__all__ = ["SweepRequest", "SweepResult", "run_sweep"]

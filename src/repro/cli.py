@@ -15,6 +15,7 @@ Examples::
     python -m repro.cli topology --isps 8 --clients 6
     python -m repro.cli sweep --limiter noncommon --seeds 5 --jobs 4
     python -m repro.cli sweep --seeds 8 --store .repro-store --resume --json
+    python -m repro.cli sweep --seeds 5 --metrics metrics.jsonl
 """
 
 import argparse
@@ -137,8 +138,8 @@ def cmd_topology(args):
 
 
 def cmd_sweep(args):
+    from repro.api import SweepRequest, run_sweep
     from repro.experiments.scenarios import seed_sweep
-    from repro.parallel import run_detection_sweep
 
     detector = {"loss_trend": LossTrendCorrelation()}
     common_exists = args.limiter in ("common", "perflow")
@@ -156,14 +157,23 @@ def cmd_sweep(args):
     elif args.resume or args.no_cache:
         print("--resume/--no-cache require --store DIR", file=sys.stderr)
         return 2
-    records = run_detection_sweep(
-        configs,
-        jobs=args.jobs,
-        detectors=detector,
-        fault_profile=fault_profile,
-        store=store,
-        no_cache=args.no_cache,
+    # argparse: flag absent -> None (off); bare --metrics -> "" (collect
+    # in-memory, print the table); --metrics PATH -> also export JSONL.
+    metrics = None
+    if args.metrics is not None:
+        metrics = args.metrics if args.metrics else True
+    result = run_sweep(
+        SweepRequest.detection(
+            configs,
+            detectors=detector,
+            fault_profile=fault_profile,
+            jobs=args.jobs,
+            store=store,
+            no_cache=args.no_cache,
+            metrics=metrics,
+        )
     )
+    records = result.results
     # Human-readable summary goes to stderr when the record stream owns
     # stdout, so `repro sweep --json > records.jsonl` stays clean.
     info = sys.stderr if args.json else sys.stdout
@@ -190,9 +200,16 @@ def cmd_sweep(args):
     label = "FN" if common_exists else "FP"
     print(f"{label} rate: {bad}/{scored}", file=info)
     if store is not None:
-        run = store.ledger_runs()[-1]
-        print(f"cache: {run['hits']} hits / {run['misses']} misses "
-              f"over {run['cells']} cells (store {store.root})", file=info)
+        print(f"cache: {result.hits} hits / {result.misses} misses "
+              f"over {result.cells} cells (store {store.root})", file=info)
+    if result.metrics is not None:
+        from repro.obs import summary_table
+
+        # Metrics always go to stderr so `--json > records.jsonl` and
+        # byte-comparisons of the record stream stay clean.
+        print(summary_table(result.metrics), file=sys.stderr)
+        if isinstance(metrics, str):
+            print(f"metrics written to {metrics}", file=sys.stderr)
     return 0
 
 
@@ -262,6 +279,12 @@ def build_parser():
         "--json", action="store_true",
         help="emit one canonical JSONL record per cell on stdout (the "
              "store serialization); the summary moves to stderr",
+    )
+    sweep.add_argument(
+        "--metrics", nargs="?", const="", default=None, metavar="PATH",
+        help="collect observability metrics for the sweep and print a "
+             "summary table to stderr; with PATH, also export the "
+             "snapshot as JSONL (never changes sweep records)",
     )
     sweep.set_defaults(func=cmd_sweep)
     return parser

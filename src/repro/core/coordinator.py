@@ -34,6 +34,8 @@ from dataclasses import dataclass, field
 
 from repro.core.localizer import WeHeYLocalizer
 from repro.experiments.runner import NetsimReplayService
+from repro.obs import metrics as _obs
+from repro.obs import span as _span
 from repro.faults import (
     FaultSite,
     ReplayAbortedError,
@@ -218,6 +220,19 @@ class WeHeYCoordinator:
         -- comes back as a :class:`CoordinatedReport` whose ``attempts``
         log records what was tried.
         """
+        with _span("coordinator.run_test", client=client_name, app=app) as rec:
+            report = self._run_test(client_name, app)
+            if rec is not None:
+                rec["attrs"].update(
+                    status=report.status.value, attempts=report.n_attempts
+                )
+            if _obs.ENABLED:
+                _obs.SINK.inc("coordinator.tests")
+                _obs.SINK.inc("coordinator.attempts", report.n_attempts)
+                _obs.SINK.inc(f"coordinator.status.{report.status.value}")
+            return report
+
+    def _run_test(self, client_name, app):
         client = self.internet.find_client(client_name)
         candidates = deque(self.database.lookup(client.ip, client.asn))
         if not candidates:

@@ -31,6 +31,8 @@ from repro.core.throughput_comparison import (
     ThroughputComparison,
     aggregate_simultaneous_samples,
 )
+from repro.obs import metrics as _obs
+from repro.obs import span as _span
 from repro.wehe.detection import detect_differentiation
 
 
@@ -198,6 +200,22 @@ class WeHeYLocalizer:
         rather than an exception, and the remaining replays are not
         run.
         """
+        with _span("localizer.localize", app=getattr(original_trace, "app", None)) as rec:
+            report = self._localize(service, original_trace, inverted_trace)
+            if rec is not None:
+                rec["attrs"].update(
+                    outcome=report.outcome.value,
+                    mechanism=report.mechanism.value,
+                    reason_code=report.reason_code,
+                )
+            if _obs.ENABLED:
+                _obs.SINK.inc(f"localizer.outcome.{report.outcome.value}")
+                _obs.SINK.inc(f"localizer.mechanism.{report.mechanism.value}")
+                if report.invalid:
+                    _obs.SINK.inc("localizer.invalid")
+            return report
+
+    def _localize(self, service, original_trace, inverted_trace):
         x_samples = service.single_replay(original_trace)
         problem = _sample_problem(x_samples, "single-replay")
         if problem:

@@ -28,6 +28,8 @@ from repro.netsim.background import (
 )
 from repro.netsim.engine import Simulator
 from repro.netsim.path import Path
+from repro.obs import harvest_topology
+from repro.obs import metrics as _obs
 from repro.netsim.topology import FigureOneTopology, TopologyConfig
 from repro.wehe.apps import make_trace
 from repro.wehe.loss_measurement import RetransmissionLossEstimator
@@ -102,7 +104,13 @@ class _Environment:
                 )
 
     def run(self):
-        self.sim.run(until=WARMUP + self.config.duration + DRAIN)
+        elapsed = WARMUP + self.config.duration + DRAIN
+        self.sim.run(until=elapsed)
+        if _obs.ENABLED:
+            # Aggregates (utilization, occupancy, delay) come from the
+            # statistics the simulator keeps anyway -- one harvest per
+            # run, zero per-packet cost.
+            harvest_topology(_obs.SINK, self.topology, elapsed)
 
     @property
     def ack_jitter_rng(self):
@@ -333,6 +341,8 @@ def run_detection_experiment(
     try:
         result = service.simultaneous_replay(trace)
     except ReplayAbortedError:
+        if _obs.ENABLED:
+            _obs.SINK.inc("runner.cells_aborted")
         return DetectionExperimentRecord(
             config=config,
             verdicts={},
@@ -350,6 +360,8 @@ def run_detection_experiment(
         )
     loss_1 = result.measurements_1.loss_rate
     loss_2 = result.measurements_2.loss_rate
+    if _obs.ENABLED:
+        _obs.SINK.inc("runner.cells_completed")
     return DetectionExperimentRecord(
         config=config,
         verdicts=verdicts,

@@ -135,7 +135,7 @@ def seed_sweep(base_config, seeds):
     """One cell replicated across seeds (the FN/FP rate estimator).
 
     Every sweep generator in this module yields plain configs; feed the
-    list to :func:`repro.parallel.run_detection_sweep` to execute it on
+    list to :func:`repro.api.run_sweep` to execute it on
     all cores, or iterate it serially -- results are identical either
     way.
     """

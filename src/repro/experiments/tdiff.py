@@ -7,6 +7,8 @@ apart on an undifferentiated path with fresh background traffic, then
 feeding the pairs through the same t_diff formula.
 """
 
+import warnings
+
 import numpy as np
 
 from repro.experiments.runner import NetsimReplayService
@@ -25,20 +27,20 @@ def _tdiff_pair(config):
     return relative_mean_difference(first, second)
 
 
-def simulate_tdiff(
-    n_pairs=25, app="netflix", duration=15.0, base_seed=5000, jobs=1, store=None
+def _tdiff_sweep(
+    n_pairs=25,
+    app="netflix",
+    duration=15.0,
+    base_seed=5000,
+    jobs=1,
+    store=None,
+    no_cache=False,
+    on_result=None,
 ):
-    """Run ``n_pairs`` back-to-back replay pairs and return t_diff samples.
+    """T_diff-sweep implementation; returns ``(values, hits, misses)``.
 
-    Each pair replays the bit-inverted trace twice on a path without a
-    rate limiter; the two runs see different background traffic (the
-    second test happens minutes later), giving genuine normal
-    throughput variation.  Pairs are seeded independently, so
-    ``jobs > 1`` fans them out over cores without changing the samples.
-
-    ``store`` (a :class:`~repro.store.ExperimentStore`) caches each
-    pair's t_diff value under a ``kind="tdiff"`` key, so re-estimating
-    the distribution replays nothing.
+    ``values`` is a float ndarray of ``n_pairs`` t_diff samples.  The
+    engine behind :func:`repro.api.run_sweep`; call that instead.
     """
     from repro.parallel import SweepExecutor
     from repro.parallel.executor import _run_cached_sweep
@@ -54,8 +56,8 @@ def simulate_tdiff(
         for pair in range(n_pairs)
     ]
     if store is None:
-        values = SweepExecutor(jobs).map(_tdiff_pair, configs)
-        return np.asarray(values)
+        values = SweepExecutor(jobs).map(_tdiff_pair, configs, on_result=on_result)
+        return np.asarray(values), 0, len(configs)
     from repro.store import tdiff_cache_key
 
     keys = [
@@ -66,7 +68,7 @@ def simulate_tdiff(
         )
         for config in configs
     ]
-    values = _run_cached_sweep(
+    values, hits, misses = _run_cached_sweep(
         _tdiff_pair,
         configs,
         keys,
@@ -75,6 +77,46 @@ def simulate_tdiff(
         kind="tdiff",
         decode=lambda payload: payload["value"],
         encode=lambda value: {"kind": "tdiff", "value": float(value)},
-        no_cache=False,
+        no_cache=no_cache,
+        on_result=on_result,
     )
-    return np.asarray(values)
+    return np.asarray(values), hits, misses
+
+
+def simulate_tdiff(
+    n_pairs=25, app="netflix", duration=15.0, base_seed=5000, jobs=1, store=None
+):
+    """Run ``n_pairs`` back-to-back replay pairs and return t_diff samples.
+
+    .. deprecated:: 1.1
+        Use :func:`repro.api.run_sweep` with
+        :meth:`repro.api.SweepRequest.tdiff` instead.
+
+    Each pair replays the bit-inverted trace twice on a path without a
+    rate limiter; the two runs see different background traffic (the
+    second test happens minutes later), giving genuine normal
+    throughput variation.  Pairs are seeded independently, so
+    ``jobs > 1`` fans them out over cores without changing the samples.
+
+    ``store`` (a :class:`~repro.store.ExperimentStore`) caches each
+    pair's t_diff value under a ``kind="tdiff"`` key, so re-estimating
+    the distribution replays nothing.
+    """
+    warnings.warn(
+        "simulate_tdiff is deprecated; use "
+        "repro.api.run_sweep(SweepRequest.tdiff(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro import api
+
+    return api.run_sweep(
+        api.SweepRequest.tdiff(
+            n_pairs=n_pairs,
+            app=app,
+            duration=duration,
+            base_seed=base_seed,
+            jobs=jobs,
+            store=store,
+        )
+    ).results

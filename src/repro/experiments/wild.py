@@ -36,6 +36,8 @@ from repro.netsim.background import CountingSink, ModulatedPoissonBackground
 from repro.netsim.engine import Simulator
 from repro.netsim.path import Path
 from repro.netsim.topology import FigureOneTopology, TopologyConfig
+from repro.obs import harvest_topology
+from repro.obs import metrics as _obs
 from repro.wehe.apps import make_trace
 from repro.wehe.corpus import generate_corpus, tdiff_distribution
 from repro.wehe.replay import attach_replay
@@ -154,7 +156,10 @@ class WildReplayService:
             sim, topology, 1, trace, start_at=WARMUP, duration=self.duration,
             ack_jitter_rng=self._ack_jitter_rng,
         )
-        sim.run(until=WARMUP + self.duration + DRAIN)
+        elapsed = WARMUP + self.duration + DRAIN
+        sim.run(until=elapsed)
+        if _obs.ENABLED:
+            harvest_topology(_obs.SINK, topology, elapsed)
         self.last_single_handle = handle
         return handle.throughput_samples()
 
@@ -178,7 +183,10 @@ class WildReplayService:
                 start_at=WARMUP + 2 * offset, duration=self.duration,
                 ack_jitter_rng=self._ack_jitter_rng,
             )
-        sim.run(until=WARMUP + self.duration + DRAIN)
+        elapsed = WARMUP + self.duration + DRAIN
+        sim.run(until=elapsed)
+        if _obs.ENABLED:
+            harvest_topology(_obs.SINK, topology, elapsed)
         h1, h2 = handles
         self.last_simultaneous_handles = handles
         return SimultaneousRunResult(
@@ -236,15 +244,33 @@ def run_table1_sweep(
 ):
     """The Table-1 grid (ISPs x apps x seeds) on all cores.
 
+    .. deprecated:: 1.1
+        Use :func:`repro.api.run_sweep` with
+        :meth:`repro.api.SweepRequest.wild` instead (it defaults to the
+        same grid).
+
     Every cell seeds itself from ``(isp, seed)`` alone, so the sweep is
     embarrassingly parallel; returns per-cell summary dicts in grid
     order regardless of ``jobs``.  ``store`` caches and resumes cells
-    exactly as in :func:`repro.parallel.run_detection_sweep`.
+    exactly as in :func:`repro.api.run_sweep`.
     """
-    from repro.parallel import run_wild_sweep
+    import warnings
 
-    if isp_names is None:
-        isp_names = list(WILD_ISPS)
-    return run_wild_sweep(
-        isp_names, apps, list(seeds), jobs=jobs, sanity_check=sanity_check, store=store
+    warnings.warn(
+        "run_table1_sweep is deprecated; use "
+        "repro.api.run_sweep(SweepRequest.wild(...))",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro import api
+
+    return api.run_sweep(
+        api.SweepRequest.wild(
+            isp_names,
+            apps=apps,
+            seeds=list(seeds),
+            sanity_check=sanity_check,
+            jobs=jobs,
+            store=store,
+        )
+    ).results

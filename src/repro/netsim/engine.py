@@ -21,6 +21,8 @@ Scheduling is split into two tiers so the hot path stays allocation-free:
 import heapq
 import itertools
 
+from repro.obs import metrics as _obs
+
 
 class EventHandle:
     """Handle returned by the ``*_cancellable`` scheduling methods."""
@@ -141,6 +143,11 @@ class Simulator:
         self._running = False
         self.events_processed += executed
         _STATS["events"] += executed
+        # Once per run() call, not per event -- the loop above stays
+        # instrumentation-free.
+        if _obs.ENABLED:
+            _obs.SINK.inc("netsim.engine.events", executed)
+            _obs.SINK.inc("netsim.engine.runs")
 
     def stop(self):
         """Stop the event loop after the currently running callback."""

@@ -38,7 +38,9 @@ class Link:
         self.qdisc = qdisc if qdisc is not None else DropTailQueue(500_000)
         self._busy = False
         self._wake_handle = None
-        # Statistics.
+        # Statistics.  repro.obs.harvest duck-types against these names
+        # (and utilization()) to build the per-run link metrics without
+        # touching this hot path -- renaming them breaks the harvest.
         self.bytes_sent = 0
         self.packets_sent = 0
         self.packets_offered = 0

@@ -16,6 +16,8 @@ harness.
 
 from collections import deque
 
+from repro.obs import metrics as _obs
+
 
 class DropTailQueue:
     """A FIFO with a byte-capacity bound; arrivals that overflow are dropped."""
@@ -52,6 +54,11 @@ class DropTailQueue:
     def enqueue(self, packet, now):
         if self._bytes + packet.size > self.capacity_bytes:
             self.drops += 1
+            # Drops are rare relative to packet events, so this is the
+            # only queue operation that pays an instrumentation branch.
+            if _obs.ENABLED:
+                _obs.SINK.inc("netsim.queue.drops")
+                _obs.SINK.observe("netsim.queue.occupancy_at_drop_bytes", self._bytes)
             return False
         packet.enqueued_at = now
         self._queue.append(packet)

@@ -19,6 +19,7 @@ generates duplicate ACKs on gaps just like a real stack.
 """
 
 from repro.netsim.packet import ACK, ACK_BYTES, DATA, HEADER_BYTES, Packet
+from repro.obs import metrics as _obs
 
 MSS = 1448  # payload bytes per segment
 SEGMENT_WIRE_BYTES = MSS + HEADER_BYTES
@@ -302,6 +303,9 @@ class TcpSender:
             # Loss events are registered when the retransmission leaves
             # the server -- this is what a capture-based estimator sees.
             self.retx_log.append((self.sim.now, seq, reason or "retx"))
+            if _obs.ENABLED:
+                _obs.SINK.inc("netsim.tcp.retransmits")
+                _obs.SINK.inc(f"netsim.tcp.retransmits.{reason or 'retx'}")
         self._highest_sent = max(self._highest_sent, seq + MSS)
         self.send_times.append(self.sim.now)
         self.packets_sent += 1
@@ -331,6 +335,8 @@ class TcpSender:
         self._rto_handle = None
         if self._stopped or self.snd_una >= self.snd_nxt:
             return
+        if _obs.ENABLED:
+            _obs.SINK.inc("netsim.tcp.rto_events")
         # Loss by timeout: collapse the window and retransmit the head.
         self.ssthresh = max(self.cwnd / 2.0, 2.0)
         self.cwnd = 1.0

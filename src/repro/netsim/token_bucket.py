@@ -16,6 +16,7 @@ whether the device behaves as a policer (small limit, drops) or a shaper
 """
 
 from repro.netsim.queues import DropTailQueue
+from repro.obs import metrics as _obs
 
 
 class TokenBucketFilter:
@@ -74,7 +75,13 @@ class TokenBucketFilter:
             self._last_update = now
 
     def enqueue(self, packet, now):
-        return self._queue.enqueue(packet, now)
+        accepted = self._queue.enqueue(packet, now)
+        if not accepted and _obs.ENABLED:
+            # The policer verdict: counts only TBF-queue overflows (the
+            # generic netsim.queue.drops counter also ticks, inside the
+            # inner drop-tail queue).
+            _obs.SINK.inc("netsim.tbf.drops")
+        return accepted
 
     def dequeue(self, now):
         queue = self._queue
@@ -95,6 +102,13 @@ class TokenBucketFilter:
             self._tokens = tokens - size if tokens > size else 0.0
             return queue.dequeue(now)
         self._tokens = tokens
+        if _obs.ENABLED:
+            # Deferrals fire only while the bucket is actively
+            # throttling; token debt is how many bytes short the bucket
+            # is of releasing the head-of-line packet.
+            _obs.SINK.inc("netsim.tbf.deferrals")
+            _obs.SINK.observe("netsim.tbf.token_debt_bytes", size - tokens)
+            _obs.SINK.observe("netsim.tbf.occupancy_at_deferral_bytes", queue.backlog_bytes)
         wake = now + (size - tokens) * 8.0 / self.rate_bps + 1e-9
         return None, wake
 

@@ -1,0 +1,70 @@
+"""``repro.obs`` -- the observability layer.
+
+A lightweight, zero-overhead-when-disabled metrics and tracing
+substrate for the whole stack:
+
+- **metrics** (:mod:`repro.obs.metrics`): counters, gauges, and
+  histograms recorded into a process-global sink that is a null object
+  while disabled.  The netsim hot path instruments only rare events
+  (TBF drops and token debt, queue drops, TCP retransmits and RTOs);
+  per-run aggregates (link utilization, queue occupancy and delay) are
+  harvested from statistics the simulator keeps anyway.
+- **tracing** (:mod:`repro.obs.tracing`): spans around coordinator
+  test attempts, localizer decisions, and store activity.
+- **exporters** (:mod:`repro.obs.exporters`): snapshot -> JSONL file or
+  a stderr summary table.
+
+Enable collection for a block of code::
+
+    from repro import obs
+
+    sink = obs.MetricsSink()
+    with obs.use_sink(sink):
+        run_sweep(...)
+    print(obs.summary_table(sink.snapshot()))
+
+or pass ``metrics=True`` / ``metrics="out.jsonl"`` to
+:func:`repro.api.run_sweep` (CLI: ``repro sweep --metrics[=PATH]``),
+which wraps the sweep in a sink, aggregates worker-process deltas, and
+exports for you.
+
+Do **not** ``from``-import the module-level ``SINK``/``ENABLED`` of
+:mod:`repro.obs.metrics`; read them as module attributes so rebinding
+by :func:`enable`/:func:`use_sink` stays visible.
+
+Metrics are observability data only.  They never feed back into a
+simulation or an experiment record -- enabling them changes no record
+byte (the CI metrics-smoke job enforces this).
+"""
+
+from repro.obs.exporters import snapshot_lines, summary_table, write_jsonl
+from repro.obs.harvest import harvest_link, harvest_qdisc, harvest_topology
+from repro.obs.metrics import (
+    NULL_SINK,
+    MetricsSink,
+    NullSink,
+    disable,
+    enable,
+    enabled,
+    merge_snapshot,
+    use_sink,
+)
+from repro.obs.tracing import span
+
+__all__ = [
+    "MetricsSink",
+    "NULL_SINK",
+    "NullSink",
+    "disable",
+    "enable",
+    "enabled",
+    "harvest_link",
+    "harvest_qdisc",
+    "harvest_topology",
+    "merge_snapshot",
+    "snapshot_lines",
+    "span",
+    "summary_table",
+    "use_sink",
+    "write_jsonl",
+]

@@ -1,0 +1,110 @@
+"""Exporters: snapshot dicts -> JSONL files / stderr summary tables.
+
+Three surfaces, matching the three consumers:
+
+- **in-memory**: a :meth:`MetricsSink.snapshot` dict -- what tests and
+  :class:`repro.api.SweepResult.metrics` hand around;
+- **JSONL** (:func:`write_jsonl`): one self-describing line per metric,
+  machine-parseable (the CI metrics-smoke job asserts on it)::
+
+      {"type": "meta", "schema": "repro.obs/1", "spans_dropped": 0}
+      {"type": "counter", "name": "netsim.tbf.drops", "value": 41}
+      {"type": "gauge", "name": "netsim.link.utilization.lc", "value": 0.93}
+      {"type": "histogram", "name": "...", "count": 9, "sum": ..., "min": ..., "max": ..., "mean": ...}
+      {"type": "span", "name": "localizer.localize", "duration_s": 1.2, "attrs": {...}}
+
+- **summary table** (:func:`summary_table`): a fixed-width human table
+  (``repro sweep --metrics`` prints it to stderr so a ``--json`` record
+  stream on stdout stays clean).
+"""
+
+import json
+
+#: Stamped on the JSONL meta line; bump when the line shapes change.
+EXPORT_SCHEMA = "repro.obs/1"
+
+
+def snapshot_lines(snapshot):
+    """Yield the JSONL export of ``snapshot``, one line per metric."""
+    yield json.dumps(
+        {
+            "type": "meta",
+            "schema": EXPORT_SCHEMA,
+            "spans_dropped": snapshot.get("spans_dropped", 0),
+        },
+        sort_keys=True,
+    )
+    for name in sorted(snapshot.get("counters", {})):
+        yield json.dumps(
+            {"type": "counter", "name": name, "value": snapshot["counters"][name]},
+            sort_keys=True,
+        )
+    for name in sorted(snapshot.get("gauges", {})):
+        yield json.dumps(
+            {"type": "gauge", "name": name, "value": snapshot["gauges"][name]},
+            sort_keys=True,
+        )
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        entry = {"type": "histogram", "name": name}
+        entry.update(hist)
+        entry["mean"] = hist["sum"] / hist["count"] if hist["count"] else 0.0
+        yield json.dumps(entry, sort_keys=True)
+    for span in snapshot.get("spans", []):
+        entry = {"type": "span"}
+        entry.update(span)
+        yield json.dumps(entry, sort_keys=True)
+
+
+def write_jsonl(snapshot, path):
+    """Write the JSONL export of ``snapshot`` to ``path``."""
+    with open(path, "w") as fh:
+        for line in snapshot_lines(snapshot):
+            fh.write(line + "\n")
+
+
+def _aggregate_spans(spans):
+    """Per-name (count, total duration) aggregation of a span list."""
+    totals = {}
+    for span in spans:
+        count, total = totals.get(span["name"], (0, 0.0))
+        totals[span["name"]] = (count + 1, total + span.get("duration_s", 0.0))
+    return totals
+
+
+def summary_table(snapshot):
+    """The snapshot as a fixed-width text table (one string, no trailer)."""
+    lines = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("-- counters " + "-" * 48)
+        for name in sorted(counters):
+            lines.append(f"{name:<44} {counters[name]:>14,}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("-- gauges " + "-" * 50)
+        for name in sorted(gauges):
+            lines.append(f"{name:<44} {gauges[name]:>14.4g}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("-- histograms " + "-" * 46)
+        lines.append(f"{'name':<36} {'count':>8} {'mean':>10} {'min':>10} {'max':>10}")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+            lines.append(
+                f"{name:<36} {hist['count']:>8} {mean:>10.4g} "
+                f"{hist['min']:>10.4g} {hist['max']:>10.4g}"
+            )
+    spans = snapshot.get("spans", [])
+    if spans:
+        lines.append("-- spans " + "-" * 51)
+        lines.append(f"{'name':<44} {'count':>6} {'total s':>9}")
+        for name, (count, total) in sorted(_aggregate_spans(spans).items()):
+            lines.append(f"{name:<44} {count:>6} {total:>9.3f}")
+        dropped = snapshot.get("spans_dropped", 0)
+        if dropped:
+            lines.append(f"(spans dropped over the span limit: {dropped})")
+    if not lines:
+        return "(no metrics recorded)"
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Per-run harvest of the statistics the simulator already keeps.
+
+The cheapest counter is one that was being maintained anyway: links
+count bytes and packets, queues count drops and delay sums, token
+buckets count enqueues.  Harvesting those aggregates *once per
+simulation run* gives the full occupancy/utilization/delay catalog with
+literally zero hot-path cost -- the live instrumentation inside
+``repro.netsim`` is reserved for rare events (drops, token deferrals,
+retransmissions, RTOs) that aggregates cannot time-resolve.
+
+Everything here duck-types against the netsim objects instead of
+importing them, deliberately: ``repro.netsim`` imports
+``repro.obs.metrics`` for its guards, so this module must not import
+``repro.netsim`` back.
+
+The harvested ``netsim.tbf.drops_total`` counter double-books the live
+``netsim.tbf.drops`` counter through an independent accounting path
+(the queue's own ``drops`` attribute); the two must always agree, and
+``tests/obs`` asserts exactly that.
+"""
+
+
+def harvest_link(sink, link, elapsed):
+    """Record one link's end-of-run statistics."""
+    utilization = link.utilization(elapsed)
+    sink.observe("netsim.link.utilization", utilization)
+    sink.set_gauge(f"netsim.link.utilization.{link.name}", utilization)
+    sink.inc("netsim.link.bytes_sent", link.bytes_sent)
+    sink.inc("netsim.link.packets_sent", link.packets_sent)
+    sink.inc("netsim.link.packets_offered", link.packets_offered)
+    harvest_qdisc(sink, link.qdisc)
+
+
+def harvest_qdisc(sink, qdisc):
+    """Record a queueing discipline's aggregates (duck-typed by shape).
+
+    A :class:`~repro.netsim.token_bucket.DualClassQdisc` exposes
+    ``tbf``/``fifo``; a per-flow qdisc exposes ``fifo`` and a ``_flows``
+    map of token buckets; a bare drop-tail queue exposes its own
+    counters directly.
+    """
+    tbf = getattr(qdisc, "tbf", None)
+    if tbf is not None:
+        _harvest_tbf(sink, tbf)
+        _harvest_droptail(sink, qdisc.fifo, "netsim.fifo")
+        return
+    flows = getattr(qdisc, "_flows", None)
+    if flows is not None:  # per-flow limiter: one TBF per flow key
+        for bucket in flows.values():
+            _harvest_tbf(sink, bucket)
+        _harvest_droptail(sink, qdisc.fifo, "netsim.fifo")
+        return
+    _harvest_droptail(sink, qdisc, "netsim.queue")
+
+
+def _harvest_tbf(sink, tbf):
+    sink.inc("netsim.tbf.drops_total", tbf.drops)
+    sink.inc("netsim.tbf.enqueued_total", tbf.enqueued)
+    sink.observe("netsim.tbf.mean_delay_s", tbf.mean_delay)
+    sink.observe("netsim.tbf.final_backlog_bytes", tbf.backlog_bytes)
+
+
+def _harvest_droptail(sink, queue, prefix):
+    sink.inc(f"{prefix}.drops_total", queue.drops)
+    sink.inc(f"{prefix}.enqueued_total", queue.enqueued)
+    sink.observe(f"{prefix}.mean_delay_s", queue.mean_delay)
+    sink.observe(f"{prefix}.final_backlog_bytes", queue.backlog_bytes)
+
+
+def harvest_topology(sink, topology, elapsed):
+    """Record every link of a Figure-1 topology after a simulation run."""
+    for link in [topology.link_c, *topology.noncommon_links]:
+        harvest_link(sink, link, elapsed)

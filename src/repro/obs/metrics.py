@@ -1,0 +1,219 @@
+"""Counters, gauges, histograms, and the process-global metrics sink.
+
+Design constraints, in priority order:
+
+1. **Zero cost when disabled.**  The netsim hot path executes hundreds
+   of thousands of events per simulated minute; metrics are recorded at
+   *rare* sites (drops, deferrals, retransmissions, RTOs) behind a
+   single ``if ENABLED:`` module-attribute check, and per-run
+   aggregates (occupancy, utilization, mean delay) are *harvested* from
+   the statistics the simulator already keeps -- the common packet path
+   gains no instructions at all.  Unguarded call sites are still safe:
+   the disabled sink is a null object whose methods do nothing.
+2. **Metrics never feed back into results.**  Sinks only record; no
+   simulation decision may read one.  This is what makes "enabling
+   metrics never changes a record byte" hold by construction.
+3. **Mergeable across processes.**  A :meth:`MetricsSink.snapshot` is a
+   plain-JSON dict; :meth:`MetricsSink.merge` folds one into a sink, so
+   fork-based sweep workers can serialize their deltas back to the
+   parent (see ``repro.parallel``).
+
+The module-level ``SINK``/``ENABLED`` pair is the process-global state.
+Call sites must read them as module attributes (``_obs.ENABLED``),
+never ``from``-import the values -- rebinding through
+:func:`enable`/:func:`use_sink` must stay visible.
+
+Not thread-safe: the simulator and the sweep workers are
+single-threaded by design.
+"""
+
+from contextlib import contextmanager
+
+#: Spans kept per sink before new ones are counted in ``spans_dropped``
+#: instead of stored -- a runaway sweep must not hoard memory.
+SPAN_LIMIT = 10_000
+
+
+class MetricsSink:
+    """An in-memory recording sink.
+
+    ``counters`` accumulate (monotonic adds), ``gauges`` hold the last
+    written value, ``histograms`` keep count/sum/min/max per name --
+    enough for mean and range without unbounded storage -- and
+    ``spans`` is the bounded trace log (see :mod:`repro.obs.tracing`).
+    """
+
+    #: Class-level flag so ``sink.on`` distinguishes real sinks from the
+    #: null object without an isinstance check.
+    on = True
+
+    def __init__(self):
+        self.counters = {}
+        self.gauges = {}
+        self.histograms = {}
+        self.spans = []
+        self.spans_dropped = 0
+
+    def inc(self, name, n=1):
+        """Add ``n`` to counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def set_gauge(self, name, value):
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = float(value)
+
+    def observe(self, name, value):
+        """Record one sample into histogram ``name``."""
+        value = float(value)
+        hist = self.histograms.get(name)
+        if hist is None:
+            self.histograms[name] = {
+                "count": 1, "sum": value, "min": value, "max": value,
+            }
+            return
+        hist["count"] += 1
+        hist["sum"] += value
+        if value < hist["min"]:
+            hist["min"] = value
+        if value > hist["max"]:
+            hist["max"] = value
+
+    def add_span(self, record):
+        """Store one finished span record (bounded by :data:`SPAN_LIMIT`)."""
+        if len(self.spans) >= SPAN_LIMIT:
+            self.spans_dropped += 1
+            return
+        self.spans.append(record)
+
+    def snapshot(self):
+        """A plain-JSON copy of everything recorded so far."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {name: dict(h) for name, h in self.histograms.items()},
+            "spans": list(self.spans),
+            "spans_dropped": self.spans_dropped,
+        }
+
+    def merge(self, snapshot):
+        """Fold a :meth:`snapshot` into this sink.
+
+        Counters add, histograms combine, gauges take the incoming
+        value (last write wins -- snapshots carry no clock), spans
+        append up to :data:`SPAN_LIMIT`.
+        """
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        self.gauges.update(snapshot.get("gauges", {}))
+        for name, incoming in snapshot.get("histograms", {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                self.histograms[name] = dict(incoming)
+                continue
+            hist["count"] += incoming["count"]
+            hist["sum"] += incoming["sum"]
+            hist["min"] = min(hist["min"], incoming["min"])
+            hist["max"] = max(hist["max"], incoming["max"])
+        for span in snapshot.get("spans", []):
+            self.add_span(span)
+        self.spans_dropped += snapshot.get("spans_dropped", 0)
+
+    def clear(self):
+        """Forget everything recorded so far."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.spans = []
+        self.spans_dropped = 0
+
+
+class NullSink:
+    """The disabled sink: every method is a no-op.
+
+    Call sites that fire rarely may call the active sink unguarded;
+    when observability is off they land here and do nothing.  Hot
+    sites should still guard with ``if ENABLED:`` to skip argument
+    construction.
+    """
+
+    on = False
+
+    def inc(self, name, n=1):
+        pass
+
+    def set_gauge(self, name, value):
+        pass
+
+    def observe(self, name, value):
+        pass
+
+    def add_span(self, record):
+        pass
+
+    def merge(self, snapshot):
+        pass
+
+    def snapshot(self):
+        return {
+            "counters": {}, "gauges": {}, "histograms": {},
+            "spans": [], "spans_dropped": 0,
+        }
+
+    def clear(self):
+        pass
+
+
+#: The singleton null sink; ``SINK`` points here while disabled.
+NULL_SINK = NullSink()
+
+#: Process-global active sink.  Read as a module attribute.
+SINK = NULL_SINK
+
+#: Process-global enable flag -- the one-branch hot-path guard.
+ENABLED = False
+
+
+def enabled():
+    """True when a recording sink is active."""
+    return ENABLED
+
+
+def enable(sink=None):
+    """Install ``sink`` (default: a fresh :class:`MetricsSink`) globally.
+
+    Returns the active sink so callers can hold on to it.
+    """
+    global SINK, ENABLED
+    SINK = sink if sink is not None else MetricsSink()
+    ENABLED = True
+    return SINK
+
+
+def disable():
+    """Deactivate metrics collection (back to the null sink)."""
+    global SINK, ENABLED
+    SINK = NULL_SINK
+    ENABLED = False
+
+
+@contextmanager
+def use_sink(sink):
+    """Temporarily make ``sink`` the active sink (restores the prior one).
+
+    Passing ``None`` temporarily *disables* collection.
+    """
+    global SINK, ENABLED
+    previous_sink, previous_enabled = SINK, ENABLED
+    SINK = sink if sink is not None else NULL_SINK
+    ENABLED = sink is not None
+    try:
+        yield SINK
+    finally:
+        SINK, ENABLED = previous_sink, previous_enabled
+
+
+def merge_snapshot(snapshot):
+    """Fold a worker's snapshot into the active sink (no-op when disabled)."""
+    SINK.merge(snapshot)

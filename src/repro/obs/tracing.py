@@ -1,0 +1,47 @@
+"""Span-based tracing over the metrics sink.
+
+A span is a dict ``{"name", "attrs", "duration_s"}`` recorded into the
+active sink when its ``with`` block exits.  The context manager yields
+the span record so the body can annotate outcomes as they become
+known::
+
+    with span("coordinator.run_test", client=name) as sp:
+        report = ...
+        if sp is not None:
+            sp["attrs"]["status"] = report.status.value
+
+When tracing is disabled the manager yields ``None`` and records
+nothing -- callers must guard attribute writes with ``if sp is not
+None``.  Durations come from ``time.perf_counter`` (wall clock); they
+are observability data only and never feed back into simulated time or
+any experiment record.
+"""
+
+import time
+from contextlib import contextmanager
+
+from repro.obs import metrics as _metrics
+
+
+@contextmanager
+def span(name, **attrs):
+    """Trace one operation; yields the mutable span record (or ``None``).
+
+    The span is recorded even when the body raises -- the exception
+    propagates, but the duration and any attributes set before the
+    raise are kept, with ``attrs["error"]`` set to the exception type
+    name.
+    """
+    if not _metrics.ENABLED:
+        yield None
+        return
+    record = {"name": name, "attrs": dict(attrs)}
+    start = time.perf_counter()
+    try:
+        yield record
+    except BaseException as exc:
+        record["attrs"].setdefault("error", type(exc).__name__)
+        raise
+    finally:
+        record["duration_s"] = time.perf_counter() - start
+        _metrics.SINK.add_span(record)

@@ -10,11 +10,16 @@ to a serial run.
 
 Usage::
 
-    from repro.parallel import SweepExecutor, run_detection_sweep
+    from repro.api import SweepRequest, run_sweep
 
-    records = run_detection_sweep(configs, jobs=4)
+    records = run_sweep(SweepRequest.detection(configs, jobs=4)).results
     # or, for any picklable task:
+    from repro.parallel import SweepExecutor
+
     results = SweepExecutor(jobs=4).map(task, items)
+
+The module-level ``run_detection_sweep``/``run_wild_sweep`` entry
+points are deprecated shims over :func:`repro.api.run_sweep`.
 """
 
 from repro.parallel.executor import (

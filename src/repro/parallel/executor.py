@@ -16,12 +16,18 @@ turn out not to be picklable.
 """
 
 import functools
+import logging
 import multiprocessing
 import os
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor, process
 
 from repro.experiments.runner import run_detection_experiment
+from repro.obs import MetricsSink, use_sink
+from repro.obs import metrics as _obs
+
+logger = logging.getLogger(__name__)
 
 
 def default_jobs():
@@ -55,6 +61,34 @@ def fork_available():
     return "fork" in multiprocessing.get_all_start_methods()
 
 
+def _call_on_result(on_result, index, item, result):
+    """Fire a result callback without letting it kill the sweep.
+
+    A callback that raises mid-drain used to take the whole parent
+    down, losing every result after the bad one.  Observers must not be
+    able to abort the computation they observe: log and continue.
+    """
+    try:
+        on_result(index, item, result)
+    except Exception:
+        logger.exception(
+            "on_result callback raised for sweep item %d; continuing", index
+        )
+
+
+def _metered_task(task, item):
+    """Run one sweep item under a fresh sink; ship its metrics home.
+
+    Fork-pool workers inherit ``ENABLED`` but accumulate into their own
+    copy of the parent's sink, which the parent never sees.  Wrapping
+    the task gives every item a private sink and returns ``(result,
+    snapshot)`` so the parent can merge worker deltas as results drain.
+    """
+    with use_sink(MetricsSink()) as sink:
+        result = task(item)
+    return result, sink.snapshot()
+
+
 class SweepExecutor:
     """Maps a task over independent sweep items, possibly in parallel.
 
@@ -80,26 +114,42 @@ class SweepExecutor:
         before the sweep finishes.  The callback runs in the parent
         process and must be idempotent: if the pool breaks mid-stream
         and the sweep falls back to the serial path, already-delivered
-        results are re-delivered.
+        results are re-delivered.  A callback that raises is logged and
+        skipped -- it never aborts the sweep.
+
+        When observability is enabled (:mod:`repro.obs`), pool workers
+        run each item under a private sink and the parent merges the
+        per-item snapshots into the active sink as results drain, so
+        ``jobs=N`` metrics match ``jobs=1``.
         """
         items = list(items)
         workers = min(self.jobs, len(items))
         if workers <= 1 or not fork_available():
             return self._run_serial(task, items, on_result)
+        # Capture the enabled state once: the pool path must unwrap
+        # exactly what _metered_task wrapped, even if someone toggles
+        # the sink mid-drain.
+        metered = _obs.ENABLED
+        pool_task = functools.partial(_metered_task, task) if metered else task
         ctx = multiprocessing.get_context("fork")
         try:
             with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
                 results = []
                 for index, result in enumerate(
-                    pool.map(task, items, chunksize=chunksize)
+                    pool.map(pool_task, items, chunksize=chunksize)
                 ):
+                    if metered:
+                        result, snapshot = result
+                        _obs.SINK.merge(snapshot)
                     if on_result is not None:
-                        on_result(index, items[index], result)
+                        _call_on_result(on_result, index, items[index], result)
                     results.append(result)
                 return results
         except (pickle.PicklingError, AttributeError, TypeError):
             # The task (or a result) would not cross the process
             # boundary; the sweep is still correct run in-process.
+            # (Items that already drained may have merged their metric
+            # deltas -- results stay exact, metrics may double-count.)
             return self._run_serial(task, items, on_result)
         except process.BrokenProcessPool:
             # A worker died (OOM killer, container limits); rerun the
@@ -108,11 +158,13 @@ class SweepExecutor:
 
     @staticmethod
     def _run_serial(task, items, on_result=None):
+        # In-process: the task records straight into the active global
+        # sink, so no metering wrapper is needed.
         results = []
         for index, item in enumerate(items):
             result = task(item)
             if on_result is not None:
-                on_result(index, item, result)
+                _call_on_result(on_result, index, item, result)
             results.append(result)
         return results
 
@@ -128,14 +180,23 @@ def _detection_cell(config, detectors, modified, entropy, merge_flows, fault_pro
     )
 
 
-def _run_cached_sweep(task, items, keys, store, jobs, kind, decode, encode, no_cache):
+def _run_cached_sweep(
+    task, items, keys, store, jobs, kind, decode, encode, no_cache, on_result=None
+):
     """Shared store plumbing for every sweep flavour.
 
     Partitions ``items`` into cache hits and misses, runs only the
     misses (checkpointing each completed cell the moment its result
-    arrives), records the run in the store's ledger, and returns the
-    merged results in input order.  ``decode``/``encode`` translate
-    between in-memory results and the store's plain-JSON payloads.
+    arrives), records the run in the store's ledger, and returns
+    ``(results, hits, misses)`` with results merged in input order.
+    ``decode``/``encode`` translate between in-memory results and the
+    store's plain-JSON payloads.
+
+    ``on_result(index, item, result)`` fires for every freshly computed
+    cell (never for cache hits), with ``index`` in the *original* item
+    order.  Neither a failing callback nor a failing checkpoint write
+    aborts the sweep; a lost checkpoint only costs resumability for
+    that cell.
     """
     results = [None] * len(items)
     missing = []
@@ -149,7 +210,15 @@ def _run_cached_sweep(task, items, keys, store, jobs, kind, decode, encode, no_c
     run_id = store.begin_run(kind=kind, cells=len(items), hits=hits)
 
     def checkpoint(position, item, result):
-        store.put(keys[missing[position]], encode(result), run_id=run_id)
+        index = missing[position]
+        try:
+            store.put(keys[index], encode(result), run_id=run_id)
+        except Exception:
+            logger.exception(
+                "store checkpoint failed for sweep cell %d; continuing", index
+            )
+        if on_result is not None:
+            _call_on_result(on_result, index, item, result)
 
     computed = SweepExecutor(jobs).map(
         task, [items[index] for index in missing], on_result=checkpoint
@@ -163,10 +232,10 @@ def _run_cached_sweep(task, items, keys, store, jobs, kind, decode, encode, no_c
         hits=hits,
         misses=len(missing),
     )
-    return results
+    return results, hits, len(missing)
 
 
-def run_detection_sweep(
+def _detection_sweep(
     configs,
     jobs=None,
     detectors=None,
@@ -176,21 +245,13 @@ def run_detection_sweep(
     fault_profile=None,
     store=None,
     no_cache=False,
+    on_result=None,
 ):
-    """Run :func:`run_detection_experiment` over every config.
+    """Detection-sweep implementation; returns ``(records, hits, misses)``.
 
-    Returns one :class:`~repro.experiments.runner.DetectionExperimentRecord`
-    per config, in config order, identical for any ``jobs`` value.
-    ``fault_profile`` is applied per cell, seeded from each cell's own
-    ``config.seed``.
-
-    ``store`` (a :class:`~repro.store.ExperimentStore`) makes the sweep
-    resumable: cached cells are returned without simulating (records
-    byte-identical to a cold run), and every freshly computed cell is
-    checkpointed as it completes, so a killed sweep re-run with the
-    same store computes only the missing cells.  ``no_cache`` skips the
-    read side (every cell recomputes and overwrites) while still
-    checkpointing.
+    This is the engine behind :func:`repro.api.run_sweep`; call that
+    instead.  Semantics are documented on the legacy
+    :func:`run_detection_sweep` wrapper and in :mod:`repro.api`.
     """
     configs = list(configs)
     task = functools.partial(
@@ -202,7 +263,8 @@ def run_detection_sweep(
         fault_profile=fault_profile,
     )
     if store is None:
-        return SweepExecutor(jobs).map(task, configs)
+        records = SweepExecutor(jobs).map(task, configs, on_result=on_result)
+        return records, 0, len(configs)
     from repro.store import (
         detection_cache_key,
         record_from_dict,
@@ -233,7 +295,62 @@ def run_detection_sweep(
         decode=record_from_dict,
         encode=record_to_dict,
         no_cache=no_cache,
+        on_result=on_result,
     )
+
+
+def run_detection_sweep(
+    configs,
+    jobs=None,
+    detectors=None,
+    modified=True,
+    entropy=0,
+    merge_flows=False,
+    fault_profile=None,
+    store=None,
+    no_cache=False,
+):
+    """Run :func:`run_detection_experiment` over every config.
+
+    .. deprecated:: 1.1
+        Use :func:`repro.api.run_sweep` with
+        :meth:`repro.api.SweepRequest.detection` instead; it returns the
+        same records plus cache accounting and optional metrics.
+
+    Returns one :class:`~repro.experiments.runner.DetectionExperimentRecord`
+    per config, in config order, identical for any ``jobs`` value.
+    ``fault_profile`` is applied per cell, seeded from each cell's own
+    ``config.seed``.
+
+    ``store`` (a :class:`~repro.store.ExperimentStore`) makes the sweep
+    resumable: cached cells are returned without simulating (records
+    byte-identical to a cold run), and every freshly computed cell is
+    checkpointed as it completes, so a killed sweep re-run with the
+    same store computes only the missing cells.  ``no_cache`` skips the
+    read side (every cell recomputes and overwrites) while still
+    checkpointing.
+    """
+    warnings.warn(
+        "run_detection_sweep is deprecated; use "
+        "repro.api.run_sweep(SweepRequest.detection(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro import api
+
+    return api.run_sweep(
+        api.SweepRequest.detection(
+            configs,
+            detectors=detectors,
+            modified=modified,
+            entropy=entropy,
+            merge_flows=merge_flows,
+            fault_profile=fault_profile,
+            jobs=jobs,
+            store=store,
+            no_cache=no_cache,
+        )
+    ).results
 
 
 def _wild_cell(cell, sanity_check):
@@ -251,24 +368,27 @@ def _wild_cell(cell, sanity_check):
     }
 
 
-def run_wild_sweep(
-    isp_names, apps, seeds, jobs=None, sanity_check=False, store=None, no_cache=False
+def _wild_sweep(
+    isp_names,
+    apps,
+    seeds,
+    jobs=None,
+    sanity_check=False,
+    store=None,
+    no_cache=False,
+    on_result=None,
 ):
-    """Section-5 wild tests over ISPs x apps x seeds, fanned out.
+    """Wild-sweep implementation; returns ``(summaries, hits, misses)``.
 
-    Returns one summary dict per (isp, app, seed) cell in grid order
-    (isp-major).  Full localization reports hold numpy arrays and
-    simulator-adjacent objects; the summaries keep the cross-process
-    payload small and stable.  ``store``/``no_cache`` behave as in
-    :func:`run_detection_sweep` (the summaries are cached under
-    ``kind="wild"`` keys).
+    The engine behind :func:`repro.api.run_sweep`; call that instead.
     """
     cells = [
         (isp, app, seed) for isp in isp_names for app in apps for seed in seeds
     ]
     task = functools.partial(_wild_cell, sanity_check=sanity_check)
     if store is None:
-        return SweepExecutor(jobs).map(task, cells)
+        summaries = SweepExecutor(jobs).map(task, cells, on_result=on_result)
+        return summaries, 0, len(cells)
     from repro.store import wild_cache_key
     from repro.store.serialize import plain
 
@@ -293,4 +413,42 @@ def run_wild_sweep(
         decode=lambda payload: payload["cell"],
         encode=lambda cell: {"kind": "wild", "cell": plain(cell)},
         no_cache=no_cache,
+        on_result=on_result,
     )
+
+
+def run_wild_sweep(
+    isp_names, apps, seeds, jobs=None, sanity_check=False, store=None, no_cache=False
+):
+    """Section-5 wild tests over ISPs x apps x seeds, fanned out.
+
+    .. deprecated:: 1.1
+        Use :func:`repro.api.run_sweep` with
+        :meth:`repro.api.SweepRequest.wild` instead.
+
+    Returns one summary dict per (isp, app, seed) cell in grid order
+    (isp-major).  Full localization reports hold numpy arrays and
+    simulator-adjacent objects; the summaries keep the cross-process
+    payload small and stable.  ``store``/``no_cache`` behave as in
+    :func:`run_detection_sweep` (the summaries are cached under
+    ``kind="wild"`` keys).
+    """
+    warnings.warn(
+        "run_wild_sweep is deprecated; use "
+        "repro.api.run_sweep(SweepRequest.wild(...))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro import api
+
+    return api.run_sweep(
+        api.SweepRequest.wild(
+            isp_names,
+            apps=apps,
+            seeds=seeds,
+            sanity_check=sanity_check,
+            jobs=jobs,
+            store=store,
+            no_cache=no_cache,
+        )
+    ).results

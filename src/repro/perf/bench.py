@@ -1,6 +1,6 @@
 """Canonical workload benchmarks and the ``BENCH_netsim.json`` writer.
 
-Three workloads cover the hot paths end to end:
+The workloads cover the hot paths end to end:
 
 - ``single_replay``: one WeHe p0 replay (DES engine + TCP + background);
 - ``simultaneous_replay``: the p1/p2 replay that every detection and
@@ -9,7 +9,14 @@ Three workloads cover the hot paths end to end:
   seed) of full detection cells, run serially and through
   :class:`~repro.parallel.SweepExecutor`, whose outputs must be
   byte-identical -- the determinism contract the parallel layer rests
-  on.
+  on;
+- ``metrics_overhead``: the same cells with :mod:`repro.obs` disabled
+  vs enabled -- the disabled path must stay free (the ~2% guard lives
+  in ``tests/perf``) and enabling metrics must not change a record
+  byte.
+
+Sweeps run through :func:`repro.api.run_sweep` -- the same surface the
+CLI uses, so the benchmark measures what users run.
 
 Timing is reported, never asserted: hardware varies, determinism does
 not.  CI runs ``--quick`` and fails only on a crash or a determinism
@@ -24,10 +31,11 @@ import subprocess
 import sys
 import time
 
+from repro.api import SweepRequest, run_sweep
 from repro.experiments.runner import NetsimReplayService, run_detection_experiment
 from repro.experiments.scenarios import ScenarioConfig, severity_grid
 from repro.netsim.engine import events_processed_total
-from repro.parallel import default_jobs, run_detection_sweep
+from repro.parallel import default_jobs
 from repro.store import code_fingerprint, record_line
 from repro.wehe.apps import make_trace
 
@@ -132,10 +140,10 @@ def bench_detection_sweep(duration, jobs, store=None):
         )
     ]
     serial, serial_wall, serial_events = _timed(
-        lambda: run_detection_sweep(configs, jobs=1)
+        lambda: run_sweep(SweepRequest.detection(configs, jobs=1)).results
     )
     parallel, parallel_wall, _ = _timed(
-        lambda: run_detection_sweep(configs, jobs=jobs)
+        lambda: run_sweep(SweepRequest.detection(configs, jobs=jobs)).results
     )
     serial_canon = [canonical_record(r) for r in serial]
     identical = serial_canon == [canonical_record(r) for r in parallel]
@@ -153,10 +161,12 @@ def bench_detection_sweep(duration, jobs, store=None):
     }
     if store is not None:
         _, cold_wall, _ = _timed(
-            lambda: run_detection_sweep(configs, jobs=jobs, store=store, no_cache=True)
+            lambda: run_sweep(
+                SweepRequest.detection(configs, jobs=jobs, store=store, no_cache=True)
+            ).results
         )
         warm, warm_wall, warm_events = _timed(
-            lambda: run_detection_sweep(configs, jobs=1, store=store)
+            lambda: run_sweep(SweepRequest.detection(configs, jobs=1, store=store)).results
         )
         result.update(
             store_cold_wall_s=cold_wall,
@@ -166,6 +176,45 @@ def bench_detection_sweep(duration, jobs, store=None):
         )
         result["identical"] = identical and result["store_identical"]
     return result
+
+
+def bench_metrics_overhead(duration, repeats=2):
+    """Observability cost: the same cells with metrics off vs on.
+
+    The disabled pass runs ``repeats`` times and keeps the best wall
+    (noise floor); the overhead ratio is enabled/disabled.  The
+    byte-identity of the two record streams is the invariant that
+    metrics only observe -- it folds into ``determinism_ok``.
+    """
+    configs = [
+        ScenarioConfig(app="netflix", duration=duration, seed=seed)
+        for seed in range(3)
+    ]
+
+    def sweep(metrics=None):
+        return run_sweep(SweepRequest.detection(configs, jobs=1, metrics=metrics))
+
+    disabled_walls = []
+    disabled = None
+    for _ in range(repeats):
+        disabled, wall, _ = _timed(sweep)
+        disabled_walls.append(wall)
+    enabled, enabled_wall, _ = _timed(lambda: sweep(metrics=True))
+    disabled_wall = min(disabled_walls)
+    base = [canonical_record(r) for r in disabled.results]
+    identical = base == [canonical_record(r) for r in enabled.results]
+    counters = enabled.metrics["counters"]
+    return {
+        "cells": len(configs),
+        "disabled_wall_s": disabled_wall,
+        "enabled_wall_s": enabled_wall,
+        "enabled_overhead": (
+            enabled_wall / disabled_wall - 1.0 if disabled_wall > 0 else 0.0
+        ),
+        "engine_events_observed": counters.get("netsim.engine.events", 0),
+        "counters_recorded": len(counters),
+        "records_identical": identical,
+    }
 
 
 def bench_cell_repeat(duration):
@@ -220,7 +269,13 @@ def run_benchmarks(quick=False, jobs=None, store_root=None):
         bench_detection_sweep(sweep_duration, jobs, store=store),
         duration_s=sweep_duration,
     )
-    results["determinism_ok"] = workloads["detection_sweep"]["identical"]
+    workloads["metrics_overhead"] = dict(
+        bench_metrics_overhead(sweep_duration), duration_s=sweep_duration
+    )
+    results["determinism_ok"] = (
+        workloads["detection_sweep"]["identical"]
+        and workloads["metrics_overhead"]["records_identical"]
+    )
     return results
 
 
@@ -322,6 +377,10 @@ def main(argv=None):
         print(f"store cold / warm    : {sweep['store_cold_wall_s']:.2f} s / "
               f"{sweep['store_warm_wall_s']:.2f} s "
               f"({sweep['store_warm_events']} simulated events when warm)")
+    overhead = workloads["metrics_overhead"]
+    print(f"metrics off / on     : {overhead['disabled_wall_s']:.2f} s / "
+          f"{overhead['enabled_wall_s']:.2f} s "
+          f"({overhead['enabled_overhead']:+.1%} when enabled)")
     print(f"determinism          : "
           f"{'ok' if results['determinism_ok'] else 'VIOLATED'}")
     print(f"wrote {args.output}")

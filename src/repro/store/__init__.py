@@ -16,12 +16,13 @@ artifacts:
 
 Usage::
 
+    from repro.api import SweepRequest, run_sweep
     from repro.store import ExperimentStore
-    from repro.parallel import run_detection_sweep
 
     store = ExperimentStore(".repro-store")
-    records = run_detection_sweep(configs, jobs=4, store=store)   # cold
-    records = run_detection_sweep(configs, jobs=4, store=store)   # all hits
+    cold = run_sweep(SweepRequest.detection(configs, jobs=4, store=store))
+    warm = run_sweep(SweepRequest.detection(configs, jobs=4, store=store))
+    assert warm.hits == warm.cells
 
 Inspect from the shell: ``python -m repro.store ls|show|stats|gc``.
 """

@@ -38,6 +38,7 @@ import time
 import uuid
 from pathlib import Path
 
+from repro.obs import metrics as _obs
 from repro.store.keys import code_fingerprint
 from repro.store.serialize import STORE_SCHEMA_VERSION, canonical_json
 
@@ -139,6 +140,8 @@ class ExperimentStore:
         """The payload cached under ``key``, or None (miss/stale/corrupt)."""
         self._load_prefix(key[:2])
         envelope = self._index.get(key)
+        if _obs.ENABLED:
+            _obs.SINK.inc("store.misses" if envelope is None else "store.hits")
         return None if envelope is None else envelope["payload"]
 
     def __contains__(self, key):
@@ -156,6 +159,8 @@ class ExperimentStore:
         self._load_prefix(key[:2])
         _append_line(self._shard_path(key[:2]), canonical_json(envelope))
         self._index[key] = envelope
+        if _obs.ENABLED:
+            _obs.SINK.inc("store.checkpoints")
 
     def entries(self):
         """Every live envelope (current schema + fingerprint), all shards."""

@@ -1,0 +1,70 @@
+"""Legacy entry points must warn and delegate to repro.api.run_sweep."""
+
+import pytest
+
+import repro.api
+from repro.api import SweepResult
+from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.tdiff import simulate_tdiff
+from repro.experiments.wild import run_table1_sweep
+from repro.parallel import run_detection_sweep, run_wild_sweep
+
+
+@pytest.fixture
+def spy_run_sweep(monkeypatch):
+    """Capture the request each shim builds without running a real sweep."""
+    calls = []
+
+    def fake_run_sweep(request):
+        calls.append(request)
+        return SweepResult(
+            kind=request.kind,
+            results=["sentinel"],
+            cells=1,
+            hits=0,
+            misses=1,
+        )
+
+    monkeypatch.setattr(repro.api, "run_sweep", fake_run_sweep)
+    return calls
+
+
+def test_run_detection_sweep_warns_and_delegates(spy_run_sweep):
+    configs = [ScenarioConfig(app="netflix", duration=4.0, seed=0)]
+    with pytest.warns(DeprecationWarning, match="run_detection_sweep"):
+        records = run_detection_sweep(configs, jobs=3, entropy=2)
+    assert records == ["sentinel"]
+    (request,) = spy_run_sweep
+    assert request.kind == "detection"
+    assert request.jobs == 3
+    assert request.params["entropy"] == 2
+    assert request.params["configs"] == configs
+
+
+def test_run_wild_sweep_warns_and_delegates(spy_run_sweep):
+    with pytest.warns(DeprecationWarning, match="run_wild_sweep"):
+        summaries = run_wild_sweep(["isp_a"], ["netflix"], [0, 1], jobs=2)
+    assert summaries == ["sentinel"]
+    (request,) = spy_run_sweep
+    assert request.kind == "wild"
+    assert request.params["isp_names"] == ["isp_a"]
+    assert request.params["seeds"] == [0, 1]
+
+
+def test_simulate_tdiff_warns_and_delegates(spy_run_sweep):
+    with pytest.warns(DeprecationWarning, match="simulate_tdiff"):
+        values = simulate_tdiff(n_pairs=7, duration=4.0)
+    assert values == ["sentinel"]
+    (request,) = spy_run_sweep
+    assert request.kind == "tdiff"
+    assert request.params["n_pairs"] == 7
+    assert request.params["duration"] == 4.0
+
+
+def test_run_table1_sweep_warns_and_delegates(spy_run_sweep):
+    with pytest.warns(DeprecationWarning, match="run_table1_sweep"):
+        summaries = run_table1_sweep(["isp_a"], apps=("netflix",), seeds=[0])
+    assert summaries == ["sentinel"]
+    (request,) = spy_run_sweep
+    assert request.kind == "wild"
+    assert request.params["isp_names"] == ["isp_a"]

@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.experiments.tdiff import simulate_tdiff
+from repro.api import SweepRequest, run_sweep
+
+
+def simulate_tdiff(n_pairs, **kwargs):
+    return run_sweep(SweepRequest.tdiff(n_pairs, **kwargs)).results
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,68 @@
+"""Exporter formats: JSONL lines and the stderr summary table."""
+
+import json
+
+from repro.obs import MetricsSink, snapshot_lines, summary_table, write_jsonl
+from repro.obs.exporters import EXPORT_SCHEMA
+
+
+def _sample_snapshot():
+    sink = MetricsSink()
+    sink.inc("z.counter", 3)
+    sink.inc("a.counter")
+    sink.set_gauge("g", 0.5)
+    sink.observe("h", 2.0)
+    sink.observe("h", 4.0)
+    sink.add_span({"name": "s", "attrs": {"k": "v"}, "duration_s": 0.25})
+    return sink.snapshot()
+
+
+class TestJsonl:
+    def test_every_line_parses_and_meta_leads(self):
+        lines = list(snapshot_lines(_sample_snapshot()))
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0] == {
+            "type": "meta",
+            "schema": EXPORT_SCHEMA,
+            "spans_dropped": 0,
+        }
+        assert {entry["type"] for entry in parsed[1:]} == {
+            "counter", "gauge", "histogram", "span",
+        }
+
+    def test_counters_sorted_by_name(self):
+        parsed = [json.loads(line) for line in snapshot_lines(_sample_snapshot())]
+        counters = [entry["name"] for entry in parsed if entry["type"] == "counter"]
+        assert counters == sorted(counters)
+
+    def test_histogram_lines_carry_mean(self):
+        parsed = [json.loads(line) for line in snapshot_lines(_sample_snapshot())]
+        (hist,) = [entry for entry in parsed if entry["type"] == "histogram"]
+        assert hist["mean"] == 3.0
+        assert hist["count"] == 2
+
+    def test_write_jsonl_roundtrips_from_disk(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        write_jsonl(_sample_snapshot(), path)
+        parsed = [
+            json.loads(line) for line in path.read_text().splitlines() if line
+        ]
+        counters = {
+            entry["name"]: entry["value"]
+            for entry in parsed
+            if entry["type"] == "counter"
+        }
+        assert counters == {"a.counter": 1, "z.counter": 3}
+
+
+class TestSummaryTable:
+    def test_empty_snapshot_has_a_placeholder(self):
+        assert summary_table(MetricsSink().snapshot()) == "(no metrics recorded)"
+
+    def test_sections_and_values_present(self):
+        table = summary_table(_sample_snapshot())
+        assert "-- counters" in table
+        assert "-- gauges" in table
+        assert "-- histograms" in table
+        assert "-- spans" in table
+        assert "z.counter" in table

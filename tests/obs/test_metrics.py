@@ -1,0 +1,133 @@
+"""MetricsSink / NullSink semantics and the global enable machinery."""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    NULL_SINK,
+    SPAN_LIMIT,
+    MetricsSink,
+    disable,
+    enable,
+    enabled,
+    use_sink,
+)
+
+
+class TestMetricsSink:
+    def test_counters_accumulate(self):
+        sink = MetricsSink()
+        sink.inc("a")
+        sink.inc("a", 4)
+        assert sink.counters["a"] == 5
+
+    def test_gauges_last_write_wins(self):
+        sink = MetricsSink()
+        sink.set_gauge("g", 1.0)
+        sink.set_gauge("g", 2.5)
+        assert sink.gauges["g"] == 2.5
+
+    def test_histograms_track_count_sum_min_max(self):
+        sink = MetricsSink()
+        for value in (3.0, 1.0, 2.0):
+            sink.observe("h", value)
+        hist = sink.histograms["h"]
+        assert hist == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0}
+
+    def test_snapshot_is_a_deep_enough_copy(self):
+        sink = MetricsSink()
+        sink.inc("a")
+        sink.observe("h", 1.0)
+        snap = sink.snapshot()
+        sink.inc("a")
+        sink.observe("h", 9.0)
+        assert snap["counters"]["a"] == 1
+        assert snap["histograms"]["h"]["max"] == 1.0
+
+    def test_merge_combines_everything(self):
+        a = MetricsSink()
+        a.inc("c", 2)
+        a.observe("h", 1.0)
+        a.set_gauge("g", 1.0)
+        b = MetricsSink()
+        b.inc("c", 3)
+        b.inc("only_b")
+        b.observe("h", 5.0)
+        b.set_gauge("g", 7.0)
+        b.add_span({"name": "s", "attrs": {}, "duration_s": 0.0})
+        a.merge(b.snapshot())
+        assert a.counters == {"c": 5, "only_b": 1}
+        assert a.histograms["h"] == {"count": 2, "sum": 6.0, "min": 1.0, "max": 5.0}
+        assert a.gauges["g"] == 7.0
+        assert len(a.spans) == 1
+
+    def test_merge_empty_snapshot_is_noop(self):
+        sink = MetricsSink()
+        sink.inc("c")
+        sink.merge(None)
+        sink.merge({})
+        assert sink.counters == {"c": 1}
+
+    def test_span_limit_bounds_memory(self):
+        sink = MetricsSink()
+        for index in range(SPAN_LIMIT + 5):
+            sink.add_span({"name": f"s{index}"})
+        assert len(sink.spans) == SPAN_LIMIT
+        assert sink.spans_dropped == 5
+
+    def test_clear_forgets_everything(self):
+        sink = MetricsSink()
+        sink.inc("c")
+        sink.observe("h", 1.0)
+        sink.add_span({"name": "s"})
+        sink.clear()
+        assert sink.snapshot() == NULL_SINK.snapshot()
+
+
+class TestNullSink:
+    def test_every_operation_is_a_noop(self):
+        NULL_SINK.inc("c")
+        NULL_SINK.observe("h", 1.0)
+        NULL_SINK.set_gauge("g", 1.0)
+        NULL_SINK.add_span({})
+        NULL_SINK.merge({"counters": {"c": 1}})
+        snap = NULL_SINK.snapshot()
+        assert snap["counters"] == {}
+        assert not NULL_SINK.on
+
+
+class TestGlobalState:
+    def test_disabled_by_default(self):
+        assert not enabled()
+        assert obs_metrics.SINK is NULL_SINK
+
+    def test_enable_disable_roundtrip(self):
+        sink = enable()
+        try:
+            assert enabled()
+            assert obs_metrics.SINK is sink
+        finally:
+            disable()
+        assert not enabled()
+        assert obs_metrics.SINK is NULL_SINK
+
+    def test_use_sink_restores_previous_state(self):
+        outer = MetricsSink()
+        with use_sink(outer):
+            with use_sink(MetricsSink()) as inner:
+                inner.inc("inner")
+                assert obs_metrics.SINK is inner
+            assert obs_metrics.SINK is outer
+        assert not enabled()
+
+    def test_use_sink_none_disables(self):
+        with use_sink(MetricsSink()):
+            with use_sink(None):
+                assert not enabled()
+            assert enabled()
+
+    def test_use_sink_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_sink(MetricsSink()):
+                raise RuntimeError("boom")
+        assert not enabled()

@@ -1,0 +1,43 @@
+"""Span tracing: disabled no-ops, attribute capture, error annotation."""
+
+import pytest
+
+from repro.obs import MetricsSink, span, use_sink
+
+
+class TestSpan:
+    def test_disabled_span_yields_none_and_records_nothing(self):
+        sink = MetricsSink()
+        with span("work", key="value") as record:
+            assert record is None
+        assert sink.spans == []
+
+    def test_enabled_span_records_name_attrs_duration(self):
+        sink = MetricsSink()
+        with use_sink(sink):
+            with span("work", key="value") as record:
+                record["attrs"]["extra"] = 1
+        (recorded,) = sink.spans
+        assert recorded["name"] == "work"
+        assert recorded["attrs"]["key"] == "value"
+        assert recorded["attrs"]["extra"] == 1
+        assert recorded["duration_s"] >= 0.0
+
+    def test_exception_is_annotated_and_reraised(self):
+        sink = MetricsSink()
+        with use_sink(sink):
+            with pytest.raises(ValueError):
+                with span("work"):
+                    raise ValueError("boom")
+        (recorded,) = sink.spans
+        assert recorded["attrs"]["error"] == "ValueError"
+        assert "duration_s" in recorded
+
+    def test_explicit_error_attr_wins_over_exception_name(self):
+        sink = MetricsSink()
+        with use_sink(sink):
+            with pytest.raises(ValueError):
+                with span("work") as record:
+                    record["attrs"]["error"] = "custom"
+                    raise ValueError("boom")
+        assert sink.spans[0]["attrs"]["error"] == "custom"

@@ -8,8 +8,8 @@ leaks across cells regardless of scheduling.
 
 import pytest
 
+from repro.api import SweepRequest, run_sweep
 from repro.experiments.scenarios import ScenarioConfig, seed_sweep
-from repro.parallel import run_detection_sweep
 from repro.perf.bench import canonical_record
 
 DURATION = 8.0
@@ -18,6 +18,10 @@ DURATION = 8.0
 def _configs(n=4, limiter="common"):
     base = ScenarioConfig(app="zoom", limiter=limiter, duration=DURATION, seed=0)
     return list(seed_sweep(base, range(1, n + 1)))
+
+
+def run_detection_sweep(configs, **kwargs):
+    return run_sweep(SweepRequest.detection(configs, **kwargs)).results
 
 
 def _canon(records):

@@ -9,8 +9,8 @@ import json
 
 import pytest
 
+from repro.api import SweepRequest, run_sweep
 from repro.experiments.scenarios import ScenarioConfig, seed_sweep
-from repro.parallel import run_detection_sweep
 from repro.store import ExperimentStore, detection_cache_key, record_line
 
 DURATION = 5.0
@@ -19,6 +19,10 @@ DURATION = 5.0
 def _configs(n=4):
     base = ScenarioConfig(app="zoom", duration=DURATION, seed=0)
     return list(seed_sweep(base, range(1, n + 1)))
+
+
+def run_detection_sweep(configs, **kwargs):
+    return run_sweep(SweepRequest.detection(configs, **kwargs)).results
 
 
 def _counting(monkeypatch):
