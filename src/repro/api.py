@@ -24,11 +24,23 @@ Common options on every request:
   for resumable, checkpointed sweeps;
 - ``on_result(index, item, result)``: streaming callback, fired for
   every *freshly computed* cell in completion order with the cell's
-  original index.  A raising callback is logged and skipped, never
-  fatal;
+  original index, exactly once per cell.  A raising callback is logged
+  and skipped, never fatal;
 - ``metrics``: ``True`` collects a :mod:`repro.obs` snapshot onto the
   result; a path string additionally exports it as JSONL.  Collection
-  never changes any sweep result byte.
+  never changes any sweep result byte;
+- ``cell_timeout`` / ``max_cell_retries`` / ``strict``: process-level
+  supervision (see :mod:`repro.parallel.supervisor`).  A parallel cell
+  that outlives ``cell_timeout`` seconds has its worker killed and is
+  retried; worker deaths and transient exceptions likewise cost one of
+  ``max_cell_retries`` attempts.  A cell that exhausts its budget is
+  *quarantined*: the sweep completes, the cell's slot in ``results``
+  holds a :class:`repro.parallel.CellFailure`, and
+  ``SweepResult.failures`` lists it -- unless ``strict=True``, which
+  aborts the sweep on the first quarantine instead.  ``SIGINT`` /
+  ``SIGTERM`` drain gracefully: in-flight cells finish, checkpoints
+  flush, and the partial ``SweepResult`` comes back with
+  ``interrupted=True``.
 
 The legacy entry points still work but emit ``DeprecationWarning`` and
 delegate here.
@@ -38,6 +50,7 @@ from dataclasses import dataclass, field
 
 from repro.obs import MetricsSink, use_sink, write_jsonl
 from repro.obs import metrics as _obs
+from repro.parallel.supervisor import DEFAULT_MAX_CELL_RETRIES
 
 _KINDS = ("detection", "wild", "tdiff")
 
@@ -59,6 +72,9 @@ class SweepRequest:
     no_cache: bool = False
     on_result: object = None
     metrics: object = None
+    cell_timeout: object = None
+    max_cell_retries: int = DEFAULT_MAX_CELL_RETRIES
+    strict: bool = False
 
     def __post_init__(self):
         if self.kind not in _KINDS:
@@ -67,6 +83,10 @@ class SweepRequest:
             )
         if self.on_result is not None and not callable(self.on_result):
             raise TypeError("on_result must be callable")
+        if self.cell_timeout is not None and not self.cell_timeout > 0:
+            raise ValueError("cell_timeout must be positive (or None)")
+        if self.max_cell_retries < 0:
+            raise ValueError("max_cell_retries must be >= 0")
 
     @classmethod
     def detection(
@@ -83,6 +103,9 @@ class SweepRequest:
         no_cache=False,
         on_result=None,
         metrics=None,
+        cell_timeout=None,
+        max_cell_retries=DEFAULT_MAX_CELL_RETRIES,
+        strict=False,
     ):
         """A Section-6 FN/FP sweep: one cell per :class:`ScenarioConfig`.
 
@@ -106,6 +129,9 @@ class SweepRequest:
             no_cache=no_cache,
             on_result=on_result,
             metrics=metrics,
+            cell_timeout=cell_timeout,
+            max_cell_retries=max_cell_retries,
+            strict=strict,
         )
 
     @classmethod
@@ -121,6 +147,9 @@ class SweepRequest:
         no_cache=False,
         on_result=None,
         metrics=None,
+        cell_timeout=None,
+        max_cell_retries=DEFAULT_MAX_CELL_RETRIES,
+        strict=False,
     ):
         """A Section-5 wild-ISP sweep over ISPs x apps x seeds.
 
@@ -140,6 +169,9 @@ class SweepRequest:
             no_cache=no_cache,
             on_result=on_result,
             metrics=metrics,
+            cell_timeout=cell_timeout,
+            max_cell_retries=max_cell_retries,
+            strict=strict,
         )
 
     @classmethod
@@ -155,10 +187,14 @@ class SweepRequest:
         no_cache=False,
         on_result=None,
         metrics=None,
+        cell_timeout=None,
+        max_cell_retries=DEFAULT_MAX_CELL_RETRIES,
+        strict=False,
     ):
         """A T_diff estimation sweep (back-to-back replay pairs).
 
-        Results are a float ndarray of ``n_pairs`` t_diff samples.
+        Results are a float ndarray of ``n_pairs`` t_diff samples (a
+        plain list when cells were quarantined or the sweep drained).
         """
         return cls(
             kind="tdiff",
@@ -173,6 +209,9 @@ class SweepRequest:
             no_cache=no_cache,
             on_result=on_result,
             metrics=metrics,
+            cell_timeout=cell_timeout,
+            max_cell_retries=max_cell_retries,
+            strict=strict,
         )
 
 
@@ -185,6 +224,12 @@ class SweepResult:
     ``hits``/``misses`` count cache activity (``hits == 0`` when no
     store was used); ``metrics`` is a :mod:`repro.obs` snapshot dict
     when the request asked for one, else ``None``.
+
+    ``failures`` holds one :class:`repro.parallel.CellFailure` per
+    quarantined cell (each also sits inline at its position in
+    ``results``); ``interrupted`` is True when a drain signal ended the
+    sweep early, in which case never-computed cells are ``None`` in
+    ``results``.  ``ok`` is the one-glance health check.
     """
 
     kind: str
@@ -193,6 +238,13 @@ class SweepResult:
     hits: int
     misses: int
     metrics: object = None
+    failures: tuple = ()
+    interrupted: bool = False
+
+    @property
+    def ok(self):
+        """True when the sweep completed with no quarantined cells."""
+        return not self.failures and not self.interrupted
 
     def __len__(self):
         return len(self.results)
@@ -215,6 +267,9 @@ def _run_detection(request):
         store=request.store,
         no_cache=request.no_cache,
         on_result=request.on_result,
+        cell_timeout=request.cell_timeout,
+        max_cell_retries=request.max_cell_retries,
+        strict=request.strict,
     )
 
 
@@ -234,6 +289,9 @@ def _run_wild(request):
         store=request.store,
         no_cache=request.no_cache,
         on_result=request.on_result,
+        cell_timeout=request.cell_timeout,
+        max_cell_retries=request.max_cell_retries,
+        strict=request.strict,
     )
 
 
@@ -249,6 +307,9 @@ def _run_tdiff(request):
         store=request.store,
         no_cache=request.no_cache,
         on_result=request.on_result,
+        cell_timeout=request.cell_timeout,
+        max_cell_retries=request.max_cell_retries,
+        strict=request.strict,
     )
 
 
@@ -273,12 +334,12 @@ def run_sweep(request):
     impl = _DISPATCH[request.kind]
     collect = request.metrics is not None and request.metrics is not False
     if not collect:
-        results, hits, misses = impl(request)
+        results, hits, misses, failures, interrupted = impl(request)
         snapshot = None
     else:
         outer = _obs.SINK if _obs.ENABLED else None
         with use_sink(MetricsSink()) as sink:
-            results, hits, misses = impl(request)
+            results, hits, misses, failures, interrupted = impl(request)
             snapshot = sink.snapshot()
         if isinstance(request.metrics, str) and request.metrics:
             write_jsonl(snapshot, request.metrics)
@@ -291,6 +352,8 @@ def run_sweep(request):
         hits=hits,
         misses=misses,
         metrics=snapshot,
+        failures=tuple(failures),
+        interrupted=interrupted,
     )
 
 

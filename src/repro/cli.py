@@ -137,9 +137,31 @@ def cmd_topology(args):
     return 0
 
 
+def _print_failure_table(failures, stream):
+    """The quarantined-cell report (stderr; stdout stays byte-clean)."""
+    print(f"quarantined cells: {len(failures)}", file=stream)
+    print(f"{'idx':>5}  {'kind':<12} {'attempts':>8} {'elapsed':>9}  error",
+          file=stream)
+    for failure in failures:
+        print(
+            f"{failure.index:>5}  {failure.kind:<12} {failure.attempts:>8}"
+            f" {failure.elapsed:>8.2f}s  {failure.error}",
+            file=stream,
+        )
+
+
+#: ``repro sweep`` exit code when cells were quarantined: distinct from
+#: misuse (2) and from a localization miss (1) so scripts can branch.
+EXIT_QUARANTINED = 3
+
+#: Exit code for a drained (SIGINT/SIGTERM) sweep: 128 + SIGINT.
+EXIT_INTERRUPTED = 130
+
+
 def cmd_sweep(args):
     from repro.api import SweepRequest, run_sweep
     from repro.experiments.scenarios import seed_sweep
+    from repro.parallel import CellFailure, SweepCellError
 
     detector = {"loss_trend": LossTrendCorrelation()}
     common_exists = args.limiter in ("common", "perflow")
@@ -162,29 +184,49 @@ def cmd_sweep(args):
     metrics = None
     if args.metrics is not None:
         metrics = args.metrics if args.metrics else True
-    result = run_sweep(
-        SweepRequest.detection(
-            configs,
-            detectors=detector,
-            fault_profile=fault_profile,
-            jobs=args.jobs,
-            store=store,
-            no_cache=args.no_cache,
-            metrics=metrics,
+    try:
+        result = run_sweep(
+            SweepRequest.detection(
+                configs,
+                detectors=detector,
+                fault_profile=fault_profile,
+                jobs=args.jobs,
+                store=store,
+                no_cache=args.no_cache,
+                metrics=metrics,
+                cell_timeout=args.cell_timeout,
+                max_cell_retries=args.max_cell_retries,
+                strict=args.strict,
+            )
         )
-    )
+    except SweepCellError as exc:
+        # --strict: the first quarantine-worthy cell aborts the sweep.
+        print(f"sweep aborted (--strict): {exc}", file=sys.stderr)
+        return 1
     records = result.results
     # Human-readable summary goes to stderr when the record stream owns
     # stdout, so `repro sweep --json > records.jsonl` stays clean.
     info = sys.stderr if args.json else sys.stdout
     if args.json:
+        import json
+
         from repro.store import record_line
 
         for record in records:
+            if record is None:  # interrupted before this cell ran
+                continue
+            if isinstance(record, CellFailure):
+                # Failures stay in-stream as machine-readable records,
+                # so `--json > records.jsonl` keeps one line per cell.
+                print(json.dumps(record.as_dict(), sort_keys=True,
+                                 separators=(",", ":")))
+                continue
             print(record_line(record))
     bad = 0
     scored = 0
     for record in records:
+        if record is None or isinstance(record, CellFailure):
+            continue
         seed = record.config.seed
         if record.aborted:
             print(f"seed={seed} aborted (fault injection)", file=info)
@@ -202,6 +244,13 @@ def cmd_sweep(args):
     if store is not None:
         print(f"cache: {result.hits} hits / {result.misses} misses "
               f"over {result.cells} cells (store {store.root})", file=info)
+    if result.failures:
+        _print_failure_table(result.failures, sys.stderr)
+    if result.interrupted:
+        completed = sum(record is not None for record in records)
+        print(f"sweep interrupted: {completed}/{len(records)} cells completed"
+              + (" (partial results checkpointed)" if store is not None else ""),
+              file=sys.stderr)
     if result.metrics is not None:
         from repro.obs import summary_table
 
@@ -210,6 +259,10 @@ def cmd_sweep(args):
         print(summary_table(result.metrics), file=sys.stderr)
         if isinstance(metrics, str):
             print(f"metrics written to {metrics}", file=sys.stderr)
+    if result.interrupted:
+        return EXIT_INTERRUPTED
+    if result.failures:
+        return EXIT_QUARANTINED
     return 0
 
 
@@ -258,6 +311,23 @@ def build_parser():
         "--fault-profile", default="none",
         help="per-cell fault-injection profile (seeded from each "
              "cell's seed); none, flaky, chaos, or a spec string",
+    )
+    sweep.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per parallel cell; a cell that "
+             "overruns has its worker killed and is retried",
+    )
+    sweep.add_argument(
+        "--max-cell-retries", type=int, default=2, metavar="N",
+        help="extra attempts per cell after a worker death, timeout, "
+             "or transient exception before the cell is quarantined "
+             "(default 2)",
+    )
+    sweep.add_argument(
+        "--strict", action="store_true",
+        help="abort the sweep on the first quarantine-worthy cell "
+             "instead of quarantining it (exit 1); default is to "
+             "finish the sweep and exit 3 with a failure table",
     )
     sweep.add_argument(
         "--store", default=None, metavar="DIR",

@@ -36,15 +36,30 @@ def _tdiff_sweep(
     store=None,
     no_cache=False,
     on_result=None,
+    cell_timeout=None,
+    max_cell_retries=None,
+    strict=False,
 ):
-    """T_diff-sweep implementation; returns ``(values, hits, misses)``.
+    """T_diff-sweep implementation; returns the 5-tuple
+    ``(values, hits, misses, failures, interrupted)``.
 
-    ``values`` is a float ndarray of ``n_pairs`` t_diff samples.  The
-    engine behind :func:`repro.api.run_sweep`; call that instead.
+    ``values`` is a float ndarray of ``n_pairs`` t_diff samples -- or a
+    plain list when cells were quarantined or the sweep was drained
+    (``CellFailure``/``None`` entries do not belong in a float array).
+    The engine behind :func:`repro.api.run_sweep`; call that instead.
     """
     from repro.parallel import SweepExecutor
-    from repro.parallel.executor import _run_cached_sweep
+    from repro.parallel.executor import _run_cached_sweep, _run_plain_sweep
+    from repro.parallel.supervisor import DEFAULT_MAX_CELL_RETRIES
 
+    if max_cell_retries is None:
+        max_cell_retries = DEFAULT_MAX_CELL_RETRIES
+    executor = SweepExecutor(
+        jobs,
+        cell_timeout=cell_timeout,
+        max_cell_retries=max_cell_retries,
+        strict=strict,
+    )
     configs = [
         ScenarioConfig(
             app=app,
@@ -56,31 +71,35 @@ def _tdiff_sweep(
         for pair in range(n_pairs)
     ]
     if store is None:
-        values = SweepExecutor(jobs).map(_tdiff_pair, configs, on_result=on_result)
-        return np.asarray(values), 0, len(configs)
-    from repro.store import tdiff_cache_key
-
-    keys = [
-        tdiff_cache_key(
-            config,
-            fingerprint=store.fingerprint,
-            schema_version=store.schema_version,
+        values, hits, misses, failures, interrupted = _run_plain_sweep(
+            _tdiff_pair, configs, executor, on_result=on_result
         )
-        for config in configs
-    ]
-    values, hits, misses = _run_cached_sweep(
-        _tdiff_pair,
-        configs,
-        keys,
-        store,
-        jobs,
-        kind="tdiff",
-        decode=lambda payload: payload["value"],
-        encode=lambda value: {"kind": "tdiff", "value": float(value)},
-        no_cache=no_cache,
-        on_result=on_result,
-    )
-    return np.asarray(values), hits, misses
+    else:
+        from repro.store import tdiff_cache_key
+
+        keys = [
+            tdiff_cache_key(
+                config,
+                fingerprint=store.fingerprint,
+                schema_version=store.schema_version,
+            )
+            for config in configs
+        ]
+        values, hits, misses, failures, interrupted = _run_cached_sweep(
+            _tdiff_pair,
+            configs,
+            keys,
+            store,
+            executor,
+            kind="tdiff",
+            decode=lambda payload: payload["value"],
+            encode=lambda value: {"kind": "tdiff", "value": float(value)},
+            no_cache=no_cache,
+            on_result=on_result,
+        )
+    if not failures and not interrupted:
+        values = np.asarray(values)
+    return values, hits, misses, failures, interrupted
 
 
 def simulate_tdiff(

@@ -13,8 +13,15 @@ Usage::
 
     injector = FaultInjector(FaultProfile.parse("replay_abort=0.5"), seed=7)
     service = NetsimReplayService(config, fault_injector=injector)
+
+:mod:`repro.faults.chaos` extends the same idea one layer down, to the
+*process* level: seeded worker-kill / hang / raise / slow injectors
+(:class:`ChaosProfile`, activated via ``REPRO_CHAOS`` or a
+``chaos_profile=`` knob) exercise the sweep supervisor in
+:mod:`repro.parallel`.
 """
 
+from repro.faults.chaos import ChaosError, ChaosProfile, chaos_from_env
 from repro.faults.injector import (
     FaultInjectionError,
     FaultInjector,
@@ -28,6 +35,8 @@ from repro.faults.retry import RetryBudget, RetryPolicy
 
 __all__ = [
     "ALL_SITES",
+    "ChaosError",
+    "ChaosProfile",
     "FaultInjectionError",
     "FaultInjector",
     "FaultProfile",
@@ -38,5 +47,6 @@ __all__ = [
     "RetryPolicy",
     "StaleTopologyError",
     "TracerouteTimeoutError",
+    "chaos_from_env",
     "maybe_fire",
 ]

@@ -28,9 +28,17 @@ from repro.parallel.executor import (
     run_detection_sweep,
     run_wild_sweep,
 )
+from repro.parallel.supervisor import (
+    CellFailure,
+    SweepCellError,
+    SweepInterrupted,
+)
 
 __all__ = [
+    "CellFailure",
+    "SweepCellError",
     "SweepExecutor",
+    "SweepInterrupted",
     "default_jobs",
     "run_detection_sweep",
     "run_wild_sweep",

@@ -1,4 +1,4 @@
-"""The process-pool sweep executor.
+"""The supervised process-pool sweep executor.
 
 Determinism argument: a sweep cell is a pure function of its config --
 ``run_detection_experiment`` derives every random stream from
@@ -6,13 +6,17 @@ Determinism argument: a sweep cell is a pure function of its config --
 injector (when present) is seeded from ``config.seed`` alone.  Workers
 share no mutable state (each process rebuilds its own simulators), and
 ``SweepExecutor.map`` preserves input order, so ``jobs=N`` produces the
-same result list as ``jobs=1`` for every N.
+same result list as ``jobs=1`` for every N -- *including* after worker
+deaths, watchdog kills, and pool restarts, because a retried cell
+recomputes from the same seeds.
 
 The executor degrades gracefully: it runs serially when ``jobs == 1``,
 when there is at most one item, when the platform cannot fork (the
 pool uses the ``fork`` start method so workers inherit the warm module
-state instead of re-importing numpy), or when the task or its results
-turn out not to be picklable.
+state instead of re-importing numpy), or when an up-front probe shows
+the task or its items would not survive pickling.  Process-level
+supervision (crash recovery, per-cell timeouts, quarantine, graceful
+drain) lives in :mod:`repro.parallel.supervisor`.
 """
 
 import functools
@@ -21,11 +25,17 @@ import multiprocessing
 import os
 import pickle
 import warnings
-from concurrent.futures import ProcessPoolExecutor, process
+from dataclasses import replace
 
 from repro.experiments.runner import run_detection_experiment
-from repro.obs import MetricsSink, use_sink
-from repro.obs import metrics as _obs
+from repro.faults.chaos import chaos_from_env
+from repro.parallel.supervisor import (
+    DEFAULT_MAX_CELL_RETRIES,
+    CellFailure,
+    Supervision,
+    SweepInterrupted,
+    _call_on_result,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -61,49 +71,71 @@ def fork_available():
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _call_on_result(on_result, index, item, result):
-    """Fire a result callback without letting it kill the sweep.
+def _probe_picklable(task, items):
+    """True when the task and every item can cross a process boundary.
 
-    A callback that raises mid-drain used to take the whole parent
-    down, losing every result after the bad one.  Observers must not be
-    able to abort the computation they observe: log and continue.
+    The old executor discovered pickling trouble by catching
+    ``PicklingError``/``AttributeError``/``TypeError`` out of
+    ``pool.map`` -- which also caught genuine ``TypeError``s raised
+    *inside* a task and silently reran the whole sweep serially,
+    masking real bugs.  Probing up front means a pickling problem (and
+    only a pickling problem) chooses the serial path; task exceptions
+    now surface through quarantine instead of vanishing.
     """
     try:
-        on_result(index, item, result)
+        pickle.dumps(task)
+        for item in items:
+            pickle.dumps(item)
     except Exception:
-        logger.exception(
-            "on_result callback raised for sweep item %d; continuing", index
-        )
-
-
-def _metered_task(task, item):
-    """Run one sweep item under a fresh sink; ship its metrics home.
-
-    Fork-pool workers inherit ``ENABLED`` but accumulate into their own
-    copy of the parent's sink, which the parent never sees.  Wrapping
-    the task gives every item a private sink and returns ``(result,
-    snapshot)`` so the parent can merge worker deltas as results drain.
-    """
-    with use_sink(MetricsSink()) as sink:
-        result = task(item)
-    return result, sink.snapshot()
+        return False
+    return True
 
 
 class SweepExecutor:
     """Maps a task over independent sweep items, possibly in parallel.
 
     Parameters:
-        jobs: worker-process count; ``None`` means ``os.cpu_count()``,
-            ``1`` forces serial execution in-process.
+        jobs: worker-process count; ``None`` means every scheduler-
+            granted core, ``1`` forces serial execution in-process.
+        cell_timeout: wall-clock seconds one cell may run before the
+            watchdog kills its worker and retries it; ``None`` disables
+            the watchdog.  Enforced only on the pool path (a serial
+            parent has no one to kill).
+        max_cell_retries: extra attempts a cell gets after a worker
+            death, watchdog kill, or transient exception before it is
+            quarantined.
+        strict: quarantine nothing -- re-raise a failing cell's
+            exception (serial) or a :class:`SweepCellError` (pool),
+            aborting the sweep like the pre-supervision executor did.
+        chaos_profile: a :class:`repro.faults.chaos.ChaosProfile`
+            injected into pool workers; defaults to whatever
+            ``REPRO_CHAOS`` names (usually nothing).
+        max_worker_restarts: worker respawns allowed before the
+            remaining cells finish serially; ``None`` picks
+            ``max(8, 2 * workers)``.
 
     ``map`` returns results in input order.  The task must be a
     module-level callable (or :func:`functools.partial` of one) so it
-    can cross the process boundary; unpicklable tasks fall back to the
-    serial path rather than failing the sweep.
+    can cross the process boundary; unpicklable tasks run serially
+    rather than failing the sweep.
     """
 
-    def __init__(self, jobs=None):
+    def __init__(
+        self,
+        jobs=None,
+        *,
+        cell_timeout=None,
+        max_cell_retries=DEFAULT_MAX_CELL_RETRIES,
+        strict=False,
+        chaos_profile=None,
+        max_worker_restarts=None,
+    ):
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.cell_timeout = cell_timeout
+        self.max_cell_retries = max_cell_retries
+        self.strict = strict
+        self.chaos = chaos_profile if chaos_profile is not None else chaos_from_env()
+        self.max_worker_restarts = max_worker_restarts
 
     def map(self, task, items, chunksize=1, on_result=None):
         """Run ``task(item)`` for every item; returns results in order.
@@ -111,11 +143,20 @@ class SweepExecutor:
         ``on_result(index, item, result)``, when given, fires as each
         result becomes available (in input order) -- the checkpoint hook
         the experiment store uses to persist completed sweep cells
-        before the sweep finishes.  The callback runs in the parent
-        process and must be idempotent: if the pool breaks mid-stream
-        and the sweep falls back to the serial path, already-delivered
-        results are re-delivered.  A callback that raises is logged and
-        skipped -- it never aborts the sweep.
+        before the sweep finishes.  Delivery is **exactly once** per
+        cell across every recovery path (worker respawn, serial
+        fallback, interrupt drain).  A callback that raises is logged
+        and skipped -- it never aborts the sweep, and it never fires
+        for a quarantined cell.
+
+        Failure semantics (see :mod:`repro.parallel.supervisor`):
+        unless ``strict``, a cell that exhausts its retries lands in
+        the results list as a :class:`CellFailure` instead of aborting
+        the sweep, and a drain signal raises :class:`SweepInterrupted`
+        carrying the partial results.  ``chunksize`` is accepted for
+        backward compatibility and ignored -- the supervising
+        dispatcher hands workers one cell at a time so the watchdog
+        knows exactly what each worker is doing.
 
         When observability is enabled (:mod:`repro.obs`), pool workers
         run each item under a private sink and the parent merges the
@@ -123,50 +164,26 @@ class SweepExecutor:
         ``jobs=N`` metrics match ``jobs=1``.
         """
         items = list(items)
+        if not items:
+            return []
         workers = min(self.jobs, len(items))
-        if workers <= 1 or not fork_available():
-            return self._run_serial(task, items, on_result)
-        # Capture the enabled state once: the pool path must unwrap
-        # exactly what _metered_task wrapped, even if someone toggles
-        # the sink mid-drain.
-        metered = _obs.ENABLED
-        pool_task = functools.partial(_metered_task, task) if metered else task
-        ctx = multiprocessing.get_context("fork")
-        try:
-            with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-                results = []
-                for index, result in enumerate(
-                    pool.map(pool_task, items, chunksize=chunksize)
-                ):
-                    if metered:
-                        result, snapshot = result
-                        _obs.SINK.merge(snapshot)
-                    if on_result is not None:
-                        _call_on_result(on_result, index, items[index], result)
-                    results.append(result)
-                return results
-        except (pickle.PicklingError, AttributeError, TypeError):
-            # The task (or a result) would not cross the process
-            # boundary; the sweep is still correct run in-process.
-            # (Items that already drained may have merged their metric
-            # deltas -- results stay exact, metrics may double-count.)
-            return self._run_serial(task, items, on_result)
-        except process.BrokenProcessPool:
-            # A worker died (OOM killer, container limits); rerun the
-            # whole sweep serially -- determinism makes that safe.
-            return self._run_serial(task, items, on_result)
-
-    @staticmethod
-    def _run_serial(task, items, on_result=None):
-        # In-process: the task records straight into the active global
-        # sink, so no metering wrapper is needed.
-        results = []
-        for index, item in enumerate(items):
-            result = task(item)
-            if on_result is not None:
-                _call_on_result(on_result, index, item, result)
-            results.append(result)
-        return results
+        use_pool = (
+            workers > 1
+            and fork_available()
+            and _probe_picklable(task, items)
+        )
+        supervision = Supervision(
+            task,
+            items,
+            workers=workers,
+            on_result=on_result,
+            cell_timeout=self.cell_timeout,
+            max_cell_retries=self.max_cell_retries,
+            strict=self.strict,
+            chaos=self.chaos,
+            max_worker_restarts=self.max_worker_restarts,
+        )
+        return supervision.run(use_pool)
 
 
 def _detection_cell(config, detectors, modified, entropy, merge_flows, fault_profile):
@@ -180,23 +197,38 @@ def _detection_cell(config, detectors, modified, entropy, merge_flows, fault_pro
     )
 
 
+def _collect_failures(results):
+    """The quarantined cells embedded in a results list, in order."""
+    return [value for value in results if isinstance(value, CellFailure)]
+
+
 def _run_cached_sweep(
-    task, items, keys, store, jobs, kind, decode, encode, no_cache, on_result=None
+    task, items, keys, store, executor, kind, decode, encode, no_cache,
+    on_result=None,
 ):
     """Shared store plumbing for every sweep flavour.
 
     Partitions ``items`` into cache hits and misses, runs only the
     misses (checkpointing each completed cell the moment its result
     arrives), records the run in the store's ledger, and returns
-    ``(results, hits, misses)`` with results merged in input order.
-    ``decode``/``encode`` translate between in-memory results and the
-    store's plain-JSON payloads.
+    ``(results, hits, misses, failures, interrupted)`` with results
+    merged in input order.  ``decode``/``encode`` translate between
+    in-memory results and the store's plain-JSON payloads.
 
     ``on_result(index, item, result)`` fires for every freshly computed
-    cell (never for cache hits), with ``index`` in the *original* item
-    order.  Neither a failing callback nor a failing checkpoint write
-    aborts the sweep; a lost checkpoint only costs resumability for
-    that cell.
+    cell (never for cache hits and never for quarantined cells), with
+    ``index`` in the *original* item order, exactly once per cell.
+    Neither a failing callback nor a failing checkpoint write aborts
+    the sweep; a lost checkpoint only costs resumability for that cell.
+
+    Failure accounting: quarantined cells come back as
+    :class:`CellFailure` entries (re-indexed to the original item order
+    and stamped with their cache key) both inline in ``results`` and in
+    the ``failures`` list; each is also appended to the store ledger.
+    A drain signal (``SIGINT``/``SIGTERM``) finishes the ledger entry
+    as ``"interrupted"`` -- every checkpoint that made it to disk stays
+    usable by ``--resume`` -- and the partial results are returned with
+    ``interrupted=True``.
     """
     results = [None] * len(items)
     missing = []
@@ -220,19 +252,44 @@ def _run_cached_sweep(
         if on_result is not None:
             _call_on_result(on_result, index, item, result)
 
-    computed = SweepExecutor(jobs).map(
-        task, [items[index] for index in missing], on_result=checkpoint
-    )
+    interrupted = False
+    try:
+        computed = executor.map(
+            task, [items[index] for index in missing], on_result=checkpoint
+        )
+    except SweepInterrupted as exc:
+        computed = exc.results
+        interrupted = True
+    failures = []
     for position, index in enumerate(missing):
-        results[index] = computed[position]
+        value = computed[position]
+        if isinstance(value, CellFailure):
+            value = replace(value, index=index, key=keys[index])
+            failures.append(value)
+        results[index] = value
+    for failure in failures:
+        store.record_failure(run_id, failure.as_dict())
     store.finish_run(
         run_id,
         kind=kind,
         cells=len(items),
         hits=hits,
         misses=len(missing),
+        status="interrupted" if interrupted else "complete",
+        failures=len(failures),
     )
-    return results, hits, len(missing)
+    return results, hits, len(missing), failures, interrupted
+
+
+def _run_plain_sweep(task, items, executor, on_result=None):
+    """Store-less sweep: same return shape as :func:`_run_cached_sweep`."""
+    interrupted = False
+    try:
+        results = executor.map(task, items, on_result=on_result)
+    except SweepInterrupted as exc:
+        results = exc.results
+        interrupted = True
+    return results, 0, len(items), _collect_failures(results), interrupted
 
 
 def _detection_sweep(
@@ -246,8 +303,12 @@ def _detection_sweep(
     store=None,
     no_cache=False,
     on_result=None,
+    cell_timeout=None,
+    max_cell_retries=DEFAULT_MAX_CELL_RETRIES,
+    strict=False,
 ):
-    """Detection-sweep implementation; returns ``(records, hits, misses)``.
+    """Detection-sweep implementation; returns the 5-tuple
+    ``(records, hits, misses, failures, interrupted)``.
 
     This is the engine behind :func:`repro.api.run_sweep`; call that
     instead.  Semantics are documented on the legacy
@@ -262,9 +323,14 @@ def _detection_sweep(
         merge_flows=merge_flows,
         fault_profile=fault_profile,
     )
+    executor = SweepExecutor(
+        jobs,
+        cell_timeout=cell_timeout,
+        max_cell_retries=max_cell_retries,
+        strict=strict,
+    )
     if store is None:
-        records = SweepExecutor(jobs).map(task, configs, on_result=on_result)
-        return records, 0, len(configs)
+        return _run_plain_sweep(task, configs, executor, on_result=on_result)
     from repro.store import (
         detection_cache_key,
         record_from_dict,
@@ -290,7 +356,7 @@ def _detection_sweep(
         configs,
         keys,
         store,
-        jobs,
+        executor,
         kind="detection_sweep",
         decode=record_from_dict,
         encode=record_to_dict,
@@ -377,8 +443,12 @@ def _wild_sweep(
     store=None,
     no_cache=False,
     on_result=None,
+    cell_timeout=None,
+    max_cell_retries=DEFAULT_MAX_CELL_RETRIES,
+    strict=False,
 ):
-    """Wild-sweep implementation; returns ``(summaries, hits, misses)``.
+    """Wild-sweep implementation; returns the 5-tuple
+    ``(summaries, hits, misses, failures, interrupted)``.
 
     The engine behind :func:`repro.api.run_sweep`; call that instead.
     """
@@ -386,9 +456,14 @@ def _wild_sweep(
         (isp, app, seed) for isp in isp_names for app in apps for seed in seeds
     ]
     task = functools.partial(_wild_cell, sanity_check=sanity_check)
+    executor = SweepExecutor(
+        jobs,
+        cell_timeout=cell_timeout,
+        max_cell_retries=max_cell_retries,
+        strict=strict,
+    )
     if store is None:
-        summaries = SweepExecutor(jobs).map(task, cells, on_result=on_result)
-        return summaries, 0, len(cells)
+        return _run_plain_sweep(task, cells, executor, on_result=on_result)
     from repro.store import wild_cache_key
     from repro.store.serialize import plain
 
@@ -408,7 +483,7 @@ def _wild_sweep(
         cells,
         keys,
         store,
-        jobs,
+        executor,
         kind="wild_sweep",
         decode=lambda payload: payload["cell"],
         encode=lambda cell: {"kind": "wild", "cell": plain(cell)},

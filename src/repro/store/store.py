@@ -265,8 +265,16 @@ class ExperimentStore:
         )
         return run_id
 
-    def finish_run(self, run_id, kind, cells, hits, misses, status="complete"):
-        """Append the matching finish event for ``run_id``."""
+    def finish_run(
+        self, run_id, kind, cells, hits, misses, status="complete", failures=0
+    ):
+        """Append the matching finish event for ``run_id``.
+
+        ``status`` is ``"complete"`` for a sweep that ran to the end
+        (quarantined cells included -- they are accounted separately in
+        ``failures``) or ``"interrupted"`` for a graceful drain; a run
+        with *no* finish event at all was killed outright.
+        """
         _append_line(
             self.ledger_path,
             canonical_json(
@@ -278,22 +286,42 @@ class ExperimentStore:
                     "hits": int(hits),
                     "misses": int(misses),
                     "status": status,
+                    "failures": int(failures),
                     "time": time.time(),
                 }
             ),
         )
 
+    def record_failure(self, run_id, failure):
+        """Append one quarantined-cell event for ``run_id``.
+
+        ``failure`` is a plain-JSON dict (see
+        :meth:`repro.parallel.CellFailure.as_dict`): cell key, error
+        repr, attempt count, elapsed seconds.  Failure entries make a
+        sweep's ledger self-explanatory -- ``--resume`` recomputes
+        exactly these keys, since a quarantined cell never checkpoints.
+        """
+        event = {"event": "cell_failure", "run_id": run_id, "time": time.time()}
+        event.update(failure)
+        _append_line(self.ledger_path, canonical_json(event))
+
     def ledger_runs(self):
         """Every run, in ledger order; unfinished runs are "interrupted".
 
         Each entry has ``run_id``, ``kind``, ``cells``, ``hits``,
-        ``misses`` (None while interrupted) and ``status``.
+        ``misses`` (None while interrupted), ``status``, ``failures``
+        (a count) and ``cell_failures`` (the quarantined-cell events
+        themselves).  Corrupt ledger lines are counted, logged, and
+        skipped -- the same tolerance the shard reader applies.
         """
         runs = {}
         order = []
         for ok, event in _iter_jsonl(self.ledger_path):
             if not ok or "run_id" not in event or "event" not in event:
                 self.skipped_lines += 1
+                logger.debug(
+                    "store: skipping corrupt ledger line in %s", self.ledger_path
+                )
                 continue
             run_id = event["run_id"]
             if event["event"] == "start":
@@ -305,6 +333,8 @@ class ExperimentStore:
                     "hits": event.get("hits"),
                     "misses": None,
                     "status": "interrupted",
+                    "failures": 0,
+                    "cell_failures": [],
                     "started": event.get("time"),
                 }
             elif event["event"] == "finish" and run_id in runs:
@@ -312,6 +342,15 @@ class ExperimentStore:
                     hits=event.get("hits"),
                     misses=event.get("misses"),
                     status=event.get("status", "complete"),
+                    failures=event.get("failures", 0),
                     finished=event.get("time"),
+                )
+            elif event["event"] == "cell_failure" and run_id in runs:
+                runs[run_id]["cell_failures"].append(
+                    {
+                        key: value
+                        for key, value in event.items()
+                        if key not in ("event", "run_id")
+                    }
                 )
         return [runs[run_id] for run_id in order]

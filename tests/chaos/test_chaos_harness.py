@@ -1,0 +1,129 @@
+"""Unit tests for the process-level chaos harness itself.
+
+The ``kill`` and ``hang`` sites are never fired in-process here (a test
+that SIGKILLs the pytest runner proves little); they are exercised
+end-to-end through the supervised pool in ``test_sweep_under_chaos``.
+"""
+
+import time
+
+import pytest
+
+from repro.faults import ChaosError, ChaosProfile, chaos_from_env
+from repro.faults.chaos import CHAOS_SITES
+from repro.faults.injector import FaultInjectionError
+
+
+class TestProfileConstruction:
+    def test_defaults_fire_nothing(self):
+        profile = ChaosProfile()
+        assert profile.schedule(100) == {}
+
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            ChaosProfile(kill=1.5)
+        with pytest.raises(ValueError):
+            ChaosProfile(raise_=-0.1)
+
+    def test_smoke_profile_is_named_and_hang_free(self):
+        profile = ChaosProfile.smoke()
+        assert profile.name == "smoke"
+        # No hangs: the CI smoke job runs without a watchdog.
+        assert profile.hang == 0.0
+        assert profile.kill > 0
+
+    def test_chaos_error_is_a_fault_injection_error(self):
+        # Chaos failures sort with the rest of the injected-fault
+        # taxonomy, so blanket fault handling catches them too.
+        assert issubclass(ChaosError, FaultInjectionError)
+
+
+class TestSchedulingDeterminism:
+    def test_plan_is_pure(self):
+        profile = ChaosProfile(kill=0.3, hang=0.2, seed=7)
+        first = [profile.plan(i, a) for i in range(20) for a in range(3)]
+        second = [profile.plan(i, a) for i in range(20) for a in range(3)]
+        assert first == second
+
+    def test_equal_profiles_agree_across_instances(self):
+        a = ChaosProfile(kill=0.4, seed=3)
+        b = ChaosProfile(kill=0.4, seed=3)
+        assert a.schedule(50) == b.schedule(50)
+
+    def test_seed_changes_the_schedule(self):
+        a = ChaosProfile(kill=0.4, seed=3)
+        b = ChaosProfile(kill=0.4, seed=4)
+        assert a.schedule(200) != b.schedule(200)
+
+    def test_attempts_redraw_independently(self):
+        # A retried cell must not deterministically re-hit the same
+        # fault, or recovery could never converge.
+        profile = ChaosProfile(kill=0.6, seed=78)
+        assert profile.plan(1, 0) == "kill"
+        assert profile.plan(1, 1) is None
+
+    def test_schedule_matches_plan(self):
+        profile = ChaosProfile(kill=0.3, hang=0.1, raise_=0.1, slow=0.2, seed=9)
+        schedule = profile.schedule(64, attempt=2)
+        for index in range(64):
+            assert schedule.get(index) == profile.plan(index, 2)
+        assert all(action in CHAOS_SITES for action in schedule.values())
+
+    def test_site_precedence_kill_wins(self):
+        # With every probability at 1, the first site in CHAOS_SITES
+        # shadows the rest.
+        profile = ChaosProfile(kill=1.0, hang=1.0, raise_=1.0, slow=1.0)
+        assert profile.plan(0, 0) == "kill"
+
+
+class TestInjection:
+    def test_raise_site_raises_chaos_error(self):
+        profile = ChaosProfile(raise_=1.0, seed=1)
+        with pytest.raises(ChaosError, match="cell 3, attempt 1"):
+            profile.inject(3, 1)
+
+    def test_slow_site_sleeps_then_returns(self):
+        profile = ChaosProfile(slow=1.0, slow_seconds=0.01, seed=1)
+        start = time.monotonic()
+        profile.inject(0, 0)
+        assert time.monotonic() - start >= 0.01
+
+    def test_no_action_is_a_no_op(self):
+        ChaosProfile(seed=1).inject(0, 0)
+
+
+class TestParsing:
+    @pytest.mark.parametrize("spec", ["", "off", "none", None, "  off  "])
+    def test_off_specs_mean_no_chaos(self, spec):
+        assert ChaosProfile.parse(spec) is None
+
+    def test_named_smoke_profile(self):
+        assert ChaosProfile.parse("smoke") == ChaosProfile.smoke()
+
+    def test_key_value_spec(self):
+        profile = ChaosProfile.parse("kill=0.3,hang=0.1,seed=7,slow_seconds=0.2")
+        assert profile == ChaosProfile(
+            kill=0.3, hang=0.1, seed=7, slow_seconds=0.2
+        )
+
+    def test_raise_keyword_maps_to_raise_(self):
+        assert ChaosProfile.parse("raise=0.5").raise_ == 0.5
+
+    @pytest.mark.parametrize(
+        "spec", ["bogus", "kill", "kill=lots", "frob=0.5", "kill=0.2,=3"]
+    )
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            ChaosProfile.parse(spec)
+
+    def test_env_activation(self):
+        assert chaos_from_env({}) is None
+        assert chaos_from_env({"REPRO_CHAOS": "off"}) is None
+        profile = chaos_from_env({"REPRO_CHAOS": "kill=0.25,seed=5"})
+        assert profile == ChaosProfile(kill=0.25, seed=5)
+
+    def test_env_malformed_spec_raises(self):
+        # Silently running *without* chaos when the operator asked for
+        # it would invert the point of the harness.
+        with pytest.raises(ValueError):
+            chaos_from_env({"REPRO_CHAOS": "garbage"})

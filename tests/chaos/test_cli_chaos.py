@@ -1,0 +1,56 @@
+"""CLI behaviour under chaos: exit codes, failure table, --json stream.
+
+``raise=1`` makes every attempt of every cell raise *before* the task
+runs, so these tests quarantine entire sweeps in well under a second --
+no simulation time is spent.
+"""
+
+import json
+
+from repro.cli import EXIT_QUARANTINED, main
+
+SWEEP = [
+    "sweep", "--app", "zoom", "--duration", "5",
+    "--seeds", "3", "--jobs", "2",
+]
+
+
+class TestQuarantineExit:
+    def test_exit_code_and_failure_table(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "raise=1")
+        code = main(SWEEP)
+        assert code == EXIT_QUARANTINED
+        captured = capsys.readouterr()
+        assert "quarantined cells: 3" in captured.err
+        assert "ChaosError" in captured.err
+
+    def test_json_stream_stays_machine_readable(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "raise=1")
+        code = main(SWEEP + ["--json"])
+        assert code == EXIT_QUARANTINED
+        captured = capsys.readouterr()
+        records = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(records) == 3
+        for record in records:
+            assert record["status"] == "failed"
+            assert record["kind"] == "exception"
+            assert "ChaosError" in record["error"]
+        # The human-readable report moved to stderr with --json.
+        assert "quarantined cells: 3" in captured.err
+
+    def test_strict_aborts_with_exit_1(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "raise=1")
+        code = main(SWEEP + ["--strict"])
+        assert code == 1
+        assert "sweep aborted (--strict)" in capsys.readouterr().err
+
+
+class TestCleanExit:
+    def test_no_chaos_means_exit_0(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        code = main(
+            ["sweep", "--app", "zoom", "--duration", "5", "--seeds", "2",
+             "--jobs", "1", "--cell-timeout", "60", "--max-cell-retries", "1"]
+        )
+        assert code == 0
+        assert "quarantined" not in capsys.readouterr().out

@@ -1,0 +1,166 @@
+"""The chaos equivalence proof: the tentpole acceptance criterion.
+
+A seeded chaos profile (kills, a hang, a poison cell) is injected into
+a ``jobs=4`` store-backed detection sweep.  The sweep must complete,
+every non-quarantined record must be byte-identical to a clean
+``jobs=1`` run, and a follow-up clean run against the same store must
+recompute *only* the quarantined cell -- every surviving checkpoint is
+reused.
+
+The profile is pinned, and chaos draws are pure SHA-256 functions of
+``(seed, cell, attempt)``, so the failure schedule below is exact on
+every machine:
+
+    cell 0: hang               -> watchdog kill, retry succeeds
+    cell 4: kill, kill, kill   -> quarantined (worker_death, 3 attempts)
+    cell 5: kill               -> respawn, retry succeeds
+    cell 7: kill               -> respawn, retry succeeds
+
+i.e. 5 worker deaths (within the jobs=4 restart budget of 8), 1
+watchdog timeout, 5 retries, 1 quarantine.
+"""
+
+import pytest
+
+from repro.api import SweepRequest, run_sweep
+from repro.experiments.scenarios import ScenarioConfig, seed_sweep
+from repro.faults import ChaosProfile
+from repro.store import ExperimentStore, detection_cache_key, record_line
+
+DURATION = 5.0
+N_CELLS = 8
+MAX_CELL_RETRIES = 2
+CHAOS_SPEC = "kill=0.3,hang=0.12,seed=30"
+CHAOS = ChaosProfile.parse(CHAOS_SPEC)
+QUARANTINED_CELL = 4
+
+FAILING = ("kill", "hang", "raise")
+
+
+def _configs():
+    base = ScenarioConfig(app="zoom", duration=DURATION, seed=0)
+    return list(seed_sweep(base, range(1, N_CELLS + 1)))
+
+
+def _attempt_paths():
+    """Walk each cell's retry path through the pinned schedule."""
+    paths = {}
+    for index in range(N_CELLS):
+        actions = []
+        for attempt in range(MAX_CELL_RETRIES + 1):
+            action = CHAOS.plan(index, attempt)
+            actions.append(action)
+            if action not in FAILING:
+                break
+        paths[index] = actions
+    return paths
+
+
+def _counting(monkeypatch):
+    """Count actual cell simulations (serial path only)."""
+    import repro.parallel.executor as executor
+
+    calls = []
+    real = executor.run_detection_experiment
+
+    def counted(config, **kwargs):
+        calls.append(config.seed)
+        return real(config, **kwargs)
+
+    monkeypatch.setattr(executor, "run_detection_experiment", counted)
+    return calls
+
+
+@pytest.fixture(scope="module")
+def clean_records():
+    """The ground truth: a clean serial sweep, no chaos, no store."""
+    return run_sweep(
+        SweepRequest.detection(_configs(), jobs=1)
+    ).results
+
+
+class TestPinnedSchedule:
+    """Assert the profile is violent enough *before* spending compute."""
+
+    def test_first_round_kills_and_hangs(self):
+        schedule = CHAOS.schedule(N_CELLS, attempt=0)
+        kills = [i for i, action in schedule.items() if action == "kill"]
+        hangs = [i for i, action in schedule.items() if action == "hang"]
+        assert len(kills) >= 2, schedule
+        assert len(hangs) >= 1, schedule
+
+    def test_exactly_one_cell_exhausts_its_retries(self):
+        paths = _attempt_paths()
+        doomed = [
+            index
+            for index, actions in paths.items()
+            if len(actions) == MAX_CELL_RETRIES + 1
+            and actions[-1] in FAILING
+        ]
+        assert doomed == [QUARANTINED_CELL], paths
+
+
+class TestChaosEquivalence:
+    def test_chaos_sweep_matches_clean_run_and_resumes(
+        self, tmp_path, monkeypatch, clean_records
+    ):
+        configs = _configs()
+        clean_lines = [record_line(r) for r in clean_records]
+        monkeypatch.setenv("REPRO_CHAOS", CHAOS_SPEC)
+        store = ExperimentStore(tmp_path / "store")
+        result = run_sweep(
+            SweepRequest.detection(
+                configs,
+                jobs=4,
+                store=store,
+                metrics=True,
+                cell_timeout=3.0,
+                max_cell_retries=MAX_CELL_RETRIES,
+            )
+        )
+
+        # The sweep completed despite the chaos -- one cell quarantined.
+        assert not result.interrupted
+        assert not result.ok
+        [failure] = result.failures
+        assert failure.index == QUARANTINED_CELL
+        assert failure.kind == "worker_death"
+        assert failure.attempts == MAX_CELL_RETRIES + 1
+        assert failure.key == detection_cache_key(
+            configs[QUARANTINED_CELL], fingerprint=store.fingerprint
+        )
+        assert result.results[QUARANTINED_CELL] is failure
+
+        # Every surviving record is byte-identical to the clean run.
+        for index, record in enumerate(result.results):
+            if index == QUARANTINED_CELL:
+                continue
+            assert record_line(record) == clean_lines[index], index
+
+        # The supervision counters match the pinned schedule exactly.
+        counters = result.metrics["counters"]
+        assert counters["parallel.worker_deaths"] == 5
+        assert counters["parallel.cell_timeouts"] == 1
+        assert counters["parallel.cell_retries"] == 5
+        assert counters["parallel.cells_quarantined"] == 1
+
+        # The ledger tells the same story.
+        run = store.ledger_runs()[-1]
+        assert run["status"] == "complete"
+        assert run["failures"] == 1
+        [event] = run["cell_failures"]
+        assert event["kind"] == "worker_death"
+        assert event["key"] == failure.key
+
+        # Resume without chaos: only the quarantined cell recomputes,
+        # and the full record set now matches the clean run.
+        monkeypatch.delenv("REPRO_CHAOS")
+        calls = _counting(monkeypatch)
+        resumed = run_sweep(
+            SweepRequest.detection(
+                configs, jobs=1, store=ExperimentStore(tmp_path / "store")
+            )
+        )
+        assert calls == [configs[QUARANTINED_CELL].seed]
+        assert resumed.ok
+        assert [record_line(r) for r in resumed.results] == clean_lines

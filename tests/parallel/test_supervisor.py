@@ -1,0 +1,185 @@
+"""Unit tests for the supervising dispatcher behind SweepExecutor.map.
+
+Tasks here are picklable builtins (``int``, ``abs``, ``time.sleep``,
+``eval``) so the pool path engages without any simulation cost; worker
+deaths are induced with pinned :class:`ChaosProfile` seeds whose
+schedules are pure SHA-256 draws and therefore machine-independent.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.faults import ChaosProfile
+from repro.obs import MetricsSink, use_sink
+from repro.parallel import (
+    CellFailure,
+    SweepCellError,
+    SweepExecutor,
+    SweepInterrupted,
+)
+
+#: kill=0.6, seed=78: cell 1 dies on attempt 0 and only attempt 0;
+#: cells 0, 2, 3 are untouched (asserted in test_chaos_harness).
+DIE_ONCE = ChaosProfile(kill=0.6, seed=78)
+
+
+def _collector():
+    deliveries = []
+
+    def on_result(index, item, result):
+        deliveries.append((index, item, result))
+
+    return deliveries, on_result
+
+
+class TestQuarantine:
+    def test_pool_quarantines_deterministic_raise_early(self):
+        # int("oops") raises the same ValueError text on every attempt,
+        # so the second identical failure quarantines without burning
+        # the rest of the (deliberately large) retry budget.
+        executor = SweepExecutor(2, max_cell_retries=5)
+        deliveries, on_result = _collector()
+        results = executor.map(
+            int, ["1", "2", "oops", "4"], on_result=on_result
+        )
+        assert results[:2] == [1, 2] and results[3] == 4
+        failure = results[2]
+        assert isinstance(failure, CellFailure)
+        assert failure.kind == "exception"
+        assert failure.attempts == 2
+        assert "invalid literal" in failure.error
+        # on_result never fires for a quarantined cell, and fires
+        # exactly once, in order, for everything else.
+        assert deliveries == [(0, "1", 1), (1, "2", 2), (3, "4", 4)]
+
+    def test_serial_quarantines_inline(self):
+        results = SweepExecutor(1).map(int, ["1", "bad"])
+        assert results[0] == 1
+        assert isinstance(results[1], CellFailure)
+        assert results[1].attempts == 1
+
+    def test_strict_pool_raises_sweep_cell_error(self):
+        with pytest.raises(SweepCellError) as excinfo:
+            SweepExecutor(2, strict=True).map(int, ["1", "2", "oops", "4"])
+        assert excinfo.value.failure.index == 2
+
+    def test_strict_serial_reraises_the_original_exception(self):
+        # The historical pre-supervision serial behaviour.
+        with pytest.raises(ValueError):
+            SweepExecutor(1, strict=True).map(int, ["1", "oops"])
+
+
+class TestWorkerDeathRecovery:
+    def test_killed_worker_respawns_and_cell_retries(self):
+        executor = SweepExecutor(2, chaos_profile=DIE_ONCE)
+        deliveries, on_result = _collector()
+        with use_sink(MetricsSink()) as sink:
+            results = executor.map(abs, [0, -1, -2, -3], on_result=on_result)
+        assert results == [0, 1, 2, 3]
+        assert deliveries == [(0, 0, 0), (1, -1, 1), (2, -2, 2), (3, -3, 3)]
+        assert sink.counters["parallel.worker_deaths"] == 1
+        assert sink.counters["parallel.cell_retries"] == 1
+        assert "parallel.cells_quarantined" not in sink.counters
+
+    def test_unrecoverable_cell_becomes_worker_death_failure(self):
+        # kill=1.0 murders every attempt of every cell; each cell burns
+        # its full budget (worker deaths never look deterministic) and
+        # quarantines.  The pool survives on its restart budget.
+        executor = SweepExecutor(
+            2,
+            chaos_profile=ChaosProfile(kill=1.0, seed=1),
+            max_cell_retries=1,
+            max_worker_restarts=16,
+        )
+        results = executor.map(abs, [0, -1])
+        for failure in results:
+            assert isinstance(failure, CellFailure)
+            assert failure.kind == "worker_death"
+            assert failure.attempts == 2
+
+
+class TestTimeoutWatchdog:
+    def test_hung_cell_is_killed_and_quarantined(self):
+        executor = SweepExecutor(2, cell_timeout=0.5, max_cell_retries=0)
+        with use_sink(MetricsSink()) as sink:
+            results = executor.map(time.sleep, [0.0, 30.0])
+        assert results[0] is None  # time.sleep's genuine return value
+        failure = results[1]
+        assert isinstance(failure, CellFailure)
+        assert failure.kind == "timeout"
+        assert failure.attempts == 1
+        assert sink.counters["parallel.cell_timeouts"] == 1
+        # A watchdog kill charges the cell, not the restart budget.
+        assert "parallel.worker_deaths" not in sink.counters
+
+    def test_timeout_retries_before_quarantining(self):
+        executor = SweepExecutor(2, cell_timeout=0.3, max_cell_retries=1)
+        with use_sink(MetricsSink()) as sink:
+            results = executor.map(time.sleep, [0.0, 30.0])
+        assert results[1].attempts == 2
+        assert sink.counters["parallel.cell_timeouts"] == 2
+
+
+class TestSerialFallbacks:
+    def test_unpicklable_result_finishes_serially_exactly_once(self):
+        # eval("lambda: 2") builds a result that cannot cross the
+        # process boundary; the worker reports it and the parent
+        # recomputes the cell (and any remainder) serially.
+        executor = SweepExecutor(2)
+        deliveries, on_result = _collector()
+        results = executor.map(
+            eval, ["1+1", "lambda: 2", "3+3"], on_result=on_result
+        )
+        assert results[0] == 2 and results[2] == 6
+        assert callable(results[1]) and results[1]() == 2
+        assert sorted(index for index, _, _ in deliveries) == [0, 1, 2]
+
+    def test_unpicklable_task_probes_to_serial(self):
+        executor = SweepExecutor(4)
+        results = executor.map(lambda x: x * 2, [1, 2, 3])
+        assert results == [2, 4, 6]
+
+
+class TestGracefulDrain:
+    def test_serial_drain_returns_partial_prefix(self):
+        deliveries, on_result = _collector()
+
+        def interrupt_after_first(index, item, result):
+            on_result(index, item, result)
+            os.kill(os.getpid(), signal.SIGINT)
+
+        with pytest.raises(SweepInterrupted) as excinfo:
+            SweepExecutor(1).map(
+                abs, [0, -1, -2], on_result=interrupt_after_first
+            )
+        exc = excinfo.value
+        assert exc.results == [0, None, None]
+        assert exc.completed == 1
+        assert deliveries == [(0, 0, 0)]
+
+    def test_pool_drain_finishes_in_flight_cells_exactly_once(self):
+        deliveries, on_result = _collector()
+
+        def interrupt_on_first_delivery(index, item, result):
+            on_result(index, item, result)
+            if len(deliveries) == 1:
+                os.kill(os.getpid(), signal.SIGINT)
+
+        items = [0.2] * 6
+        with pytest.raises(SweepInterrupted) as excinfo:
+            SweepExecutor(2).map(
+                time.sleep, items, on_result=interrupt_on_first_delivery
+            )
+        exc = excinfo.value
+        # In-flight cells finished; never-dispatched cells stayed None.
+        assert 1 <= exc.completed < len(items)
+        indices = [index for index, _, _ in deliveries]
+        assert len(indices) == len(set(indices)) == exc.completed
+
+    def test_signal_handlers_are_restored(self):
+        before = signal.getsignal(signal.SIGINT)
+        SweepExecutor(1).map(abs, [1, 2])
+        assert signal.getsignal(signal.SIGINT) is before

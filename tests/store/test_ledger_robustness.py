@@ -1,0 +1,208 @@
+"""Ledger robustness: hard kills, corrupt lines, quarantine events.
+
+The ledger's one job is to stay truthful when everything around it is
+dying: a SIGKILLed sweep must read back as interrupted with its
+surviving checkpoints intact, garbage lines must never crash a reader,
+and quarantined cells must leave an audit trail that ``--resume`` can
+act on.
+"""
+
+import hashlib
+import json
+import logging
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.api import SweepRequest, run_sweep
+from repro.experiments.scenarios import ScenarioConfig, seed_sweep
+from repro.parallel import SweepExecutor
+from repro.parallel.executor import _run_cached_sweep
+from repro.store import ExperimentStore, record_line
+
+DURATION = 5.0
+
+#: Runs a store-backed serial sweep and SIGKILLs itself the moment the
+#: first cell's checkpoint has been flushed -- the mid-run hard-crash
+#: scenario no in-process test can fake.
+_KILLED_SWEEP = """
+import os, signal, sys
+from repro.api import SweepRequest, run_sweep
+from repro.experiments.scenarios import ScenarioConfig, seed_sweep
+from repro.store import ExperimentStore
+
+configs = list(seed_sweep(
+    ScenarioConfig(app="zoom", duration={duration}, seed=0), range(1, 5)
+))
+def die_after_first_checkpoint(index, item, result):
+    os.kill(os.getpid(), signal.SIGKILL)
+run_sweep(SweepRequest.detection(
+    configs, jobs=1, store=ExperimentStore(sys.argv[1]),
+    on_result=die_after_first_checkpoint,
+))
+raise SystemExit("unreachable: the sweep should have been killed")
+"""
+
+
+def _configs(n=4):
+    base = ScenarioConfig(app="zoom", duration=DURATION, seed=0)
+    return list(seed_sweep(base, range(1, n + 1)))
+
+
+def _counting(monkeypatch):
+    """Count actual cell simulations (serial path only)."""
+    import repro.parallel.executor as executor
+
+    calls = []
+    real = executor.run_detection_experiment
+
+    def counted(config, **kwargs):
+        calls.append(config.seed)
+        return real(config, **kwargs)
+
+    monkeypatch.setattr(executor, "run_detection_experiment", counted)
+    return calls
+
+
+class TestSigkillMidRun:
+    def test_hard_killed_sweep_reads_back_as_interrupted(
+        self, tmp_path, monkeypatch
+    ):
+        root = tmp_path / "store"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             _KILLED_SWEEP.format(duration=DURATION), str(root)],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+        # A start event with no finish event == interrupted.
+        store = ExperimentStore(root)
+        [run] = store.ledger_runs()
+        assert run["status"] == "interrupted"
+        assert run["misses"] is None  # the finish event never landed
+        assert store.stats()["interrupted_runs"] == 1
+        # Exactly one checkpoint survived the kill.
+        assert len(store.entries()) == 1
+
+        # Resume: only the three never-checkpointed cells recompute,
+        # and the merged records match a clean end-to-end run.
+        configs = _configs()
+        calls = _counting(monkeypatch)
+        resumed = run_sweep(
+            SweepRequest.detection(configs, jobs=1, store=store)
+        )
+        assert calls == [config.seed for config in configs[1:]]
+        clean = run_sweep(SweepRequest.detection(configs, jobs=1)).results
+        assert [record_line(r) for r in resumed.results] == [
+            record_line(r) for r in clean
+        ]
+        finished = store.ledger_runs()[-1]
+        assert finished["status"] == "complete"
+        assert (finished["hits"], finished["misses"]) == (1, 3)
+
+
+class TestCorruptLedgerLines:
+    def test_garbage_lines_are_skipped_logged_and_counted(
+        self, tmp_path, caplog
+    ):
+        store = ExperimentStore(tmp_path / "store")
+        run_id = store.begin_run(kind="toy", cells=2, hits=0)
+        store.finish_run(run_id, kind="toy", cells=2, hits=0, misses=2)
+        with store.ledger_path.open("a") as ledger:
+            ledger.write("!!! not json at all\n")
+            ledger.write('{"event": "start", "run_id"\n')  # torn tail
+            ledger.write('[1, 2, 3]\n')  # JSON, but not an event dict
+            ledger.write('{"event": "finish"}\n')  # missing run_id
+
+        reread = ExperimentStore(tmp_path / "store")
+        with caplog.at_level(logging.DEBUG, logger="repro.store.store"):
+            runs = reread.ledger_runs()
+        [run] = runs
+        assert run["run_id"] == run_id
+        assert run["status"] == "complete"
+        assert reread.skipped_lines == 4
+        assert any(
+            "skipping corrupt ledger line" in record.message
+            for record in caplog.records
+        )
+
+    def test_unknown_run_ids_are_tolerated(self, tmp_path):
+        # A finish/cell_failure for a run whose start line was lost
+        # (e.g. truncated) must not crash or invent a run.
+        store = ExperimentStore(tmp_path / "store")
+        store.finish_run("feedbeef0000", kind="toy", cells=1, hits=0, misses=1)
+        store.record_failure("feedbeef0000", {"index": 0})
+        assert store.ledger_runs() == []
+
+
+def _toy_keys(items):
+    return [hashlib.sha256(item.encode()).hexdigest() for item in items]
+
+
+def _run_toy(store, task, items):
+    return _run_cached_sweep(
+        task,
+        items,
+        _toy_keys(items),
+        store,
+        SweepExecutor(1),
+        kind="toy",
+        decode=lambda payload: payload["value"],
+        encode=lambda value: {"value": value},
+        no_cache=False,
+    )
+
+
+class TestCellFailureEvents:
+    def test_quarantine_writes_audit_trail_and_resume_heals_it(
+        self, tmp_path
+    ):
+        items = ["alpha", "bad", "gamma"]
+
+        def flaky(item):
+            if item == "bad":
+                raise RuntimeError("boom")
+            return item.upper()
+
+        store = ExperimentStore(tmp_path / "store")
+        results, hits, misses, failures, interrupted = _run_toy(
+            store, flaky, items
+        )
+        assert (hits, misses, interrupted) == (0, 3, False)
+        assert results[0] == "ALPHA" and results[2] == "GAMMA"
+        [failure] = failures
+        assert failure.key == _toy_keys(items)[1]
+
+        run = store.ledger_runs()[-1]
+        assert run["status"] == "complete"
+        assert run["failures"] == 1
+        [event] = run["cell_failures"]
+        assert event["status"] == "failed"
+        assert event["key"] == failure.key
+        assert event["kind"] == "exception"
+        assert "RuntimeError: boom" in event["error"]
+        # The event round-trips as canonical JSON on disk.
+        raw = [
+            json.loads(line)
+            for line in store.ledger_path.read_text().splitlines()
+        ]
+        assert sum(e["event"] == "cell_failure" for e in raw) == 1
+
+        # The quarantined cell never checkpointed, so a re-run with a
+        # fixed task computes exactly that cell.
+        computed = []
+
+        def fixed(item):
+            computed.append(item)
+            return item.upper()
+
+        results, hits, misses, failures, _ = _run_toy(store, fixed, items)
+        assert computed == ["bad"]
+        assert (hits, misses, failures) == (2, 1, [])
+        assert results == ["ALPHA", "BAD", "GAMMA"]
