@@ -266,6 +266,52 @@ def cmd_sweep(args):
     return 0
 
 
+def cmd_serve(args):
+    import asyncio
+
+    from repro.service import (
+        ServiceConfig,
+        ServiceCore,
+        ServiceServer,
+        SweepEngine,
+        SyntheticEngine,
+    )
+
+    store = None
+    if args.store:
+        from repro.store import ExperimentStore
+
+        store = ExperimentStore(args.store)
+    config = ServiceConfig(
+        max_queue=args.max_queue, tenant_rate=args.tenant_rate
+    )
+    core = ServiceCore(config, store=store)
+    if args.synthetic:
+        engine = SyntheticEngine(
+            mean_service_s=args.synthetic_service_s, realtime=True
+        )
+    else:
+        engine = SweepEngine(store=store, jobs=args.jobs)
+
+    async def run():
+        server = ServiceServer(
+            core, engine, store=store, host=args.host, port=args.port
+        )
+        await server.start()
+        print(f"serving on {args.host}:{server.port}", flush=True)
+        if server.resumed:
+            print(f"resumed {server.resumed} persisted submissions",
+                  file=sys.stderr)
+        await server.serve_until_drained()
+
+    asyncio.run(run())
+    counts = ", ".join(
+        f"{status}={n}" for status, n in sorted(core.counts.items()) if n
+    )
+    print(f"drained ({counts or 'no requests'})", file=sys.stderr)
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description="WeHeY reproduction command line"
@@ -357,6 +403,47 @@ def build_parser():
              "snapshot as JSONL (never changes sweep records)",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the overload-safe WeHeY submission service "
+             "(newline-delimited JSON over TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0: pick a free port and print it)",
+    )
+    serve.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="experiment-store root: serve cached verdicts, checkpoint "
+             "cells, and persist/resume the pending queue across "
+             "SIGTERM drains",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per dispatched batch (default 1)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="bounded accept-queue size (default 64)",
+    )
+    serve.add_argument(
+        "--tenant-rate", type=float, default=None, metavar="RPS",
+        help="per-tenant admission rate cap in requests/s "
+             "(default: uncapped)",
+    )
+    serve.add_argument(
+        "--synthetic", action="store_true",
+        help="serve deterministic synthetic verdicts instead of running "
+             "real detection sweeps (for load tests and CI)",
+    )
+    serve.add_argument(
+        "--synthetic-service-s", type=float, default=0.1, metavar="SECONDS",
+        help="mean synthetic service time per reference cell "
+             "(with --synthetic; default 0.1)",
+    )
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -240,7 +240,16 @@ class WeHeYCoordinator:
                 status=CoordinationStatus.NO_TOPOLOGY, client_name=client_name
             )
 
-        budget = RetryBudget(self.retry_policy, clock=self._clock, sleep=self._sleep)
+        # Full-jitter backoff, drawn from the fault injector's dedicated
+        # stream: reproducible per (seed, profile), and advancing it
+        # never perturbs any fault site's schedule.
+        jitter_rng = getattr(self.fault_injector, "backoff_rng", None)
+        budget = RetryBudget(
+            self.retry_policy,
+            clock=self._clock,
+            sleep=self._sleep,
+            jitter_rng=jitter_rng,
+        )
         attempts = []
         while candidates and budget.allows_another():
             entry = candidates[0]

@@ -42,6 +42,19 @@ class ChaosError(FaultInjectionError):
     """The injected in-worker exception (the ``raise`` site)."""
 
 
+def uniform_draw(seed, *parts):
+    """Deterministic uniform in [0, 1) for one (seed, \\*parts) tuple.
+
+    Pure SHA-256 over the stringified parts -- machine-, process- and
+    interleaving-independent, so every chaos schedule (process-level
+    and service-level) and the synthetic service engine share one
+    reproducible randomness source.
+    """
+    token = ":".join(str(part) for part in (seed, *parts)).encode()
+    digest = hashlib.sha256(token).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
 #: Spec keys that set a fire probability, in precedence order: when two
 #: sites draw a hit for the same (cell, attempt), the first one wins.
 CHAOS_SITES = ("kill", "hang", "raise", "slow")
@@ -81,9 +94,7 @@ class ChaosProfile:
 
     def _draw(self, index, attempt, site):
         """Deterministic uniform in [0, 1) for one (cell, attempt, site)."""
-        token = f"{self.seed}:{index}:{attempt}:{site}".encode()
-        digest = hashlib.sha256(token).digest()
-        return int.from_bytes(digest[:8], "big") / 2.0**64
+        return uniform_draw(self.seed, index, attempt, site)
 
     def plan(self, index, attempt):
         """The action for this (cell, attempt), or None.
@@ -165,6 +176,87 @@ class ChaosProfile:
                 values[key] = int(value) if key == "seed" else float(value)
             except ValueError:
                 raise ValueError(f"bad chaos spec element {part!r}") from None
+        return cls(name="custom", **values)
+
+
+#: Service-level injection sites, in precedence order (first hit wins):
+#: ``malformed`` -- the submission arrives as garbage (bad JSON / bad
+#: fields); ``slow_client`` -- the client trickles its request in (or
+#: stalls reading its response); ``disconnect`` -- the connection drops
+#: mid-stream, after submitting but before the verdict arrives.
+SERVICE_CHAOS_SITES = ("malformed", "slow_client", "disconnect")
+
+
+@dataclass(frozen=True)
+class ServiceChaosProfile:
+    """Seeded client-misbehaviour schedule for the WeHeY service.
+
+    The service-level twin of :class:`ChaosProfile`: every decision is
+    a pure SHA-256 function of ``(seed, request index, site)``, so an
+    overload test's misbehaving clients are byte-reproducible across
+    machines.  The load generator consults :meth:`plan` per generated
+    request; the asyncio client harness uses the same schedule to
+    decide which connections stall or drop.
+    """
+
+    malformed: float = 0.0
+    slow_client: float = 0.0
+    disconnect: float = 0.0
+    seed: int = 0
+    slow_seconds: float = 0.5
+    name: str = "custom"
+
+    def __post_init__(self):
+        for site in SERVICE_CHAOS_SITES:
+            if not 0.0 <= getattr(self, site) <= 1.0:
+                raise ValueError(f"service chaos {site} probability must be in [0, 1]")
+
+    def plan(self, index):
+        """The misbehaviour for request ``index``, or None."""
+        for site in SERVICE_CHAOS_SITES:
+            probability = getattr(self, site)
+            if probability and uniform_draw(self.seed, "svc", index, site) < probability:
+                return site
+        return None
+
+    def schedule(self, n_requests):
+        """``{index: site}`` over ``n_requests`` -- predictable by tests."""
+        plans = ((index, self.plan(index)) for index in range(n_requests))
+        return {index: site for index, site in plans if site}
+
+    @classmethod
+    def smoke(cls, seed=23):
+        """The CI profile: a light mix of all three misbehaviours."""
+        return cls(malformed=0.05, slow_client=0.05, disconnect=0.05,
+                   seed=seed, name="smoke")
+
+    @classmethod
+    def parse(cls, spec):
+        """Build a profile from a spec string; None for "off".
+
+        Same grammar as :meth:`ChaosProfile.parse`:
+        ``malformed=0.1,disconnect=0.05,seed=3``, or ``smoke``.
+        """
+        spec = (spec or "").strip()
+        if spec in ("", "off", "none"):
+            return None
+        if spec == "smoke":
+            return cls.smoke()
+        values = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in (
+                "malformed", "slow_client", "disconnect", "seed", "slow_seconds",
+            ):
+                raise ValueError(f"bad service chaos spec element {part!r}")
+            try:
+                values[key] = int(value) if key == "seed" else float(value)
+            except ValueError:
+                raise ValueError(f"bad service chaos spec element {part!r}") from None
         return cls(name="custom", **values)
 
 

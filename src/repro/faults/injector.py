@@ -65,11 +65,15 @@ class FaultInjector:
         self.profile = profile
         self.seed = seed
         seq = np.random.SeedSequence([0xFA17, int(seed) % (2**31)])
-        children = seq.spawn(len(profile.rules))
+        # One extra child beyond the per-rule streams: the coordinator's
+        # retry-backoff jitter.  Spawned *last* so every rule keeps the
+        # exact stream it had before the jitter stream existed.
+        children = seq.spawn(len(profile.rules) + 1)
         self._rngs = {
             rule.site: np.random.default_rng(child)
             for rule, child in zip(profile.rules, children)
         }
+        self.backoff_rng = np.random.default_rng(children[-1])
         self.fires_by_site = Counter()
         self.draws_by_site = Counter()
 

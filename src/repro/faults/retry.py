@@ -54,12 +54,20 @@ class RetryBudget:
     ``charge_backoff`` adds the next exponential delay to the virtual
     clock and optionally really sleeps; ``allows_another`` is consulted
     before every attempt.
+
+    ``jitter_rng``, when given, applies *full jitter* (Exponential
+    Backoff And Jitter): each delay is drawn uniformly from ``[0,
+    exponential delay]``.  Retrying clients then spread out instead of
+    synchronizing into waves -- and because the rng is a seeded stream
+    (the fault injector's, in the coordinator), the jittered schedule
+    is still byte-reproducible.
     """
 
-    def __init__(self, policy, clock=time.monotonic, sleep=None):
+    def __init__(self, policy, clock=time.monotonic, sleep=None, jitter_rng=None):
         self.policy = policy
         self._clock = clock
         self._sleep = sleep
+        self._jitter_rng = jitter_rng
         self._started_at = clock()
         self.attempts_used = 0
         self.backoff_accumulated_s = 0.0
@@ -79,6 +87,8 @@ class RetryBudget:
     def charge_backoff(self):
         """Account (and optionally perform) the next retry's delay."""
         delay = self.policy.backoff_s(max(self.attempts_used - 1, 0))
+        if self._jitter_rng is not None and delay > 0:
+            delay = float(self._jitter_rng.uniform(0.0, delay))
         self.backoff_accumulated_s += delay
         if self._sleep is not None and delay > 0:
             self._sleep(delay)

@@ -1,0 +1,63 @@
+"""CLI: ``python -m repro.loadgen`` -- run overload scenarios.
+
+Examples::
+
+    python -m repro.loadgen                          # full set -> BENCH_service.json
+    python -m repro.loadgen --scenario sustained2x --duration 30
+    python -m repro.loadgen --chaos smoke --seed 7   # with client misbehaviour
+"""
+
+import argparse
+import json
+import sys
+
+from repro.faults.chaos import ServiceChaosProfile
+from repro.loadgen.scenarios import SCENARIOS, run_scenario, write_bench
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.loadgen",
+        description="Replay seeded overload scenarios against the WeHeY "
+        "service core in virtual time.",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=SCENARIOS,
+        help="run one scenario and print its summary (default: run the "
+        "full set twice and write the bench file)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="scenario length in virtual seconds")
+    parser.add_argument("--chaos", default="",
+                        help="service chaos spec (e.g. 'smoke' or "
+                        "'malformed=0.1,disconnect=0.05,seed=3')")
+    parser.add_argument("--out", default="BENCH_service.json",
+                        help="bench output path (full-set mode)")
+    args = parser.parse_args(argv)
+
+    chaos = ServiceChaosProfile.parse(args.chaos)
+    if args.scenario:
+        summary, _result, _core = run_scenario(
+            args.scenario, seed=args.seed, duration_s=args.duration,
+            chaos=chaos,
+        )
+        json.dump(summary, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    bench = write_bench(
+        args.out, seed=args.seed, duration_s=args.duration, chaos=chaos
+    )
+    statuses = {
+        name: summary["responses"]
+        for name, summary in sorted(bench["scenarios"].items())
+    }
+    print(f"wrote {args.out} (deterministic={bench['deterministic']})")
+    for name, counts in statuses.items():
+        print(f"  {name}: {counts}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

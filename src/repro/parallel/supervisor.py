@@ -265,6 +265,16 @@ class Supervision:
         self.serial_rest = False  # pool gave up; parent finishes the tail
         self.interrupted = False
         self._old_handlers = {}
+        self._publish_restart_budget()
+
+    def _publish_restart_budget(self):
+        """Remaining worker-restart budget as a gauge -- an operator
+        watching a long sweep sees the budget drain before it runs out."""
+        if _obs.ENABLED:
+            _obs.SINK.set_gauge(
+                "parallel.restart_budget_remaining",
+                max(self.max_worker_restarts - self.restarts_used, 0),
+            )
 
     # -- signal plumbing ------------------------------------------------
 
@@ -395,6 +405,7 @@ class Supervision:
             )
         pool.remove(worker)
         self.restarts_used += 1
+        self._publish_restart_budget()
         if self.restarts_used <= self.max_worker_restarts:
             logger.warning(
                 "sweep worker died (exit code %s); respawning (%d/%d restarts)",

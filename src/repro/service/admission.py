@@ -1,0 +1,109 @@
+"""Admission control: bounded queueing plus per-tenant token buckets.
+
+The service never queues unboundedly.  A submission is admitted only
+when (a) the service is accepting work at all (state machine / drain),
+(b) the global accept queue has room, and (c) the submitting tenant's
+token bucket holds a token.  Everything else gets an explicit
+``REJECTED_OVERLOAD`` with a structured reason -- the 429 of this
+protocol -- so clients can back off instead of piling on.
+
+The bucket is the request-granularity twin of
+:class:`repro.netsim.token_bucket.TokenBucketFilter`: tokens accrue
+continuously at ``rate`` per second up to ``burst``, and the replenish
+arithmetic mirrors the netsim TBF's (same ``min(burst, tokens + dt *
+rate)`` update, same monotonic-``now`` guard), so the admission-control
+math is the one the paper's rate-limiter model already trusts.
+"""
+
+
+class RequestTokenBucket:
+    """A continuous-replenish token bucket in request units.
+
+    Parameters:
+        rate: tokens (requests) accrued per second.
+        burst: bucket capacity; also the initial fill, so a quiet
+            tenant can open with a burst without being rejected.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last_update")
+
+    def __init__(self, rate, burst):
+        if rate <= 0:
+            raise ValueError("token rate must be positive")
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last_update = None
+
+    def _replenish(self, now):
+        # Mirrors TokenBucketFilter._replenish: monotonic guard + cap.
+        if self._last_update is None:
+            self._last_update = now
+            return
+        if now > self._last_update:
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last_update) * self.rate
+            )
+            self._last_update = now
+
+    def tokens(self, now):
+        """Tokens available at ``now`` (fractional)."""
+        self._replenish(now)
+        return self._tokens
+
+    def try_take(self, now, n=1.0):
+        """Take ``n`` tokens if available; False (untaken) otherwise.
+
+        The same 1e-9 tolerance the netsim TBF applies, so float
+        rounding at exact replenish boundaries cannot starve a tenant
+        that is precisely at its configured rate.
+        """
+        self._replenish(now)
+        if self._tokens + 1e-9 >= n:
+            self._tokens = max(self._tokens - n, 0.0)
+            return True
+        return False
+
+
+class AdmissionController:
+    """The accept/reject gate in front of the fair queue.
+
+    Stateless apart from the per-tenant buckets; the caller supplies
+    the current queue depth and service state, which keeps this class a
+    pure decision function and the whole admission path deterministic
+    under the virtual-time load generator.
+    """
+
+    def __init__(self, max_queue, tenant_rate=None, tenant_burst=8.0):
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.max_queue = int(max_queue)
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self._buckets = {}
+
+    def bucket(self, tenant):
+        """The tenant's bucket (created on first use), or None when uncapped."""
+        if self.tenant_rate is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = RequestTokenBucket(self.tenant_rate, self.tenant_burst)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant, queue_depth, now):
+        """``(True, "")`` to admit, else ``(False, reason)``.
+
+        Order matters: the global bound is checked before the tenant
+        bucket so a full queue does not silently drain tenant tokens
+        (a rejected request must not charge the tenant's future).
+        """
+        if queue_depth >= self.max_queue:
+            return False, "queue_full"
+        bucket = self.bucket(tenant)
+        if bucket is not None and not bucket.try_take(now):
+            return False, "tenant_rate"
+        return True, ""

@@ -1,0 +1,318 @@
+"""The asyncio shell around :class:`~repro.service.core.ServiceCore`.
+
+This module owns everything the sans-IO core deliberately does not:
+sockets, the wall clock, worker threads, and signals.  The division of
+labour is strict -- every decision (admit/reject/dispatch/expire) is
+made by the core; the shell only moves bytes and time:
+
+- one reader task per client connection parses newline-delimited JSON
+  submissions and feeds them to ``core.submit`` (malformed frames
+  become ``FAILED`` responses via ``core.malformed`` -- a garbage line
+  never kills the connection, let alone the service);
+- a dispatcher task asks ``core.next_batch`` and runs each batch's
+  engine call in a worker thread (``run_in_executor``), so the event
+  loop keeps accepting clients while cells simulate;
+- a ticker task drives ``core.tick`` so deadlines expire and the
+  governor recovers even when no traffic arrives;
+- ``SIGTERM``/``SIGINT`` trigger the graceful drain: admission closes,
+  in-flight batches finish (their cells checkpoint through the store as
+  usual), the pending queue is persisted to the store ledger as a
+  ``service_pending`` event, and the server exits.  A restarted service
+  finds unconsumed ``service_pending`` events and resumes them with
+  their *remaining* deadline budgets.
+
+Responses are routed back by request id; responses whose client has
+disconnected (or that belong to a previous process's resumed queue)
+land in :attr:`ServiceServer.unrouted` instead of being lost.
+"""
+
+import asyncio
+import logging
+import signal
+import time
+import uuid
+
+from repro.obs import metrics as _obs
+from repro.service.protocol import (
+    MalformedSubmission,
+    decode_line,
+    encode_line,
+    parse_submission,
+)
+
+logger = logging.getLogger(__name__)
+
+
+class ServiceServer:
+    """TCP front-end for one :class:`ServiceCore` + engine pair.
+
+    Parameters:
+        core: the sans-IO control plane.
+        engine: a batch executor (``run(batch) -> outcomes``); run in a
+            worker thread per batch.
+        store: optional :class:`ExperimentStore` -- enables drain
+            persistence and resume (the core uses it for verdict
+            caching independently).
+        host / port: bind address; port 0 picks a free port
+            (``self.port`` holds the real one after :meth:`start`).
+        tick_interval_s: cadence of the background ``core.tick``.
+    """
+
+    def __init__(
+        self,
+        core,
+        engine,
+        store=None,
+        host="127.0.0.1",
+        port=0,
+        tick_interval_s=0.05,
+    ):
+        self.core = core
+        self.engine = engine
+        self.store = store
+        self.host = host
+        self.port = port
+        self.tick_interval_s = tick_interval_s
+        self.unrouted = []  # terminal responses with no live client
+        self.resumed = 0  # requests recovered from a previous drain
+        self._routes = {}  # request id -> StreamWriter
+        self._loop = None
+        self._server = None
+        self._tasks = []
+        self._batch_tasks = set()
+        self._wake = None
+        self._drain_requested = None
+        self._done = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _now(self):
+        return self._loop.time()
+
+    async def start(self):
+        """Bind, resume any persisted queue, and start the service tasks."""
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._drain_requested = asyncio.Event()
+        self._done = asyncio.Event()
+        self.resumed = self._resume_from_store()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._install_signals()
+        self._tasks = [
+            self._loop.create_task(self._dispatch_loop()),
+            self._loop.create_task(self._tick_loop()),
+        ]
+        logger.info("service listening on %s:%d", self.host, self.port)
+
+    def _install_signals(self):
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self.request_drain)
+            except (NotImplementedError, ValueError, RuntimeError):
+                # Non-main thread or platform without signal support:
+                # drains still work via request_drain() directly.
+                return
+
+    def request_drain(self):
+        """Begin the graceful drain (signal handler / test hook)."""
+        if not self._drain_requested.is_set():
+            logger.info("service drain requested")
+            self.core.begin_drain(self._now())
+            self._drain_requested.set()
+            self._wake.set()
+
+    async def serve_until_drained(self):
+        """Block until a requested drain has fully completed."""
+        await self._done.wait()
+
+    # -- resume / persist ----------------------------------------------
+
+    def _resume_from_store(self):
+        if self.store is None:
+            return 0
+        consumed = {
+            event.get("drain_id")
+            for event in self.store.ledger_events("service_resume")
+        }
+        resumed = 0
+        for event in self.store.ledger_events("service_pending"):
+            drain_id = event.get("drain_id")
+            if drain_id in consumed:
+                continue
+            resumed += self.core.resume(event.get("pending", []), self._now())
+            self.store.append_ledger_event({
+                "event": "service_resume",
+                "run_id": drain_id,
+                "drain_id": drain_id,
+                "time": time.time(),
+            })
+        if resumed:
+            logger.info("service resumed %d persisted submissions", resumed)
+            # Their terminal responses have no client to go to yet.
+            self._collect_unrouted()
+        return resumed
+
+    def _persist_pending(self):
+        payloads = self.core.pending_payloads(self._now())
+        if not payloads or self.store is None:
+            if payloads:
+                logger.warning(
+                    "service dropping %d queued submissions (no store)",
+                    len(payloads),
+                )
+            return len(payloads)
+        drain_id = uuid.uuid4().hex[:12]
+        self.store.append_ledger_event({
+            "event": "service_pending",
+            "run_id": drain_id,
+            "drain_id": drain_id,
+            "pending": payloads,
+            "time": time.time(),
+        })
+        logger.info(
+            "service persisted %d queued submissions (drain %s)",
+            len(payloads), drain_id,
+        )
+        return len(payloads)
+
+    # -- IO -------------------------------------------------------------
+
+    def _collect_unrouted(self):
+        for response in self.core.take_responses():
+            writer = self._routes.pop(response.id, None)
+            if writer is None or writer.is_closing():
+                self.unrouted.append(response)
+                if _obs.ENABLED:
+                    _obs.SINK.inc("service.responses_unrouted")
+                continue
+            try:
+                writer.write(encode_line(response.as_dict()))
+            except (ConnectionError, OSError):
+                self.unrouted.append(response)
+
+    async def _handle_client(self, reader, writer):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                now = self._now()
+                raw = None
+                try:
+                    raw = decode_line(line)
+                    submission = parse_submission(raw)
+                except MalformedSubmission as exc:
+                    raw_id = raw.get("id") if isinstance(raw, dict) else None
+                    raw_id = raw_id if isinstance(raw_id, str) else None
+                    tenant = raw.get("tenant") if isinstance(raw, dict) else ""
+                    tenant = tenant if isinstance(tenant, str) else ""
+                    request_id = self.core.malformed(
+                        raw_id, exc.reason, tenant=tenant
+                    )
+                else:
+                    request_id = self.core.submit(submission, now)
+                    self._wake.set()
+                self._routes[request_id] = writer
+                self._collect_unrouted()
+                await self._drain_writer(writer)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass  # mid-stream disconnect: responses divert to unrouted
+        finally:
+            stale = [rid for rid, w in self._routes.items() if w is writer]
+            for rid in stale:
+                del self._routes[rid]
+            try:
+                writer.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    async def _drain_writer(writer):
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # slow/dead client: its future responses go unrouted
+
+    # -- background tasks ----------------------------------------------
+
+    async def _dispatch_loop(self):
+        while not self._drain_requested.is_set():
+            batch = self.core.next_batch(self._now())
+            self._collect_unrouted()
+            if batch is None:
+                try:
+                    await asyncio.wait_for(
+                        self._wake.wait(), timeout=self.tick_interval_s
+                    )
+                except asyncio.TimeoutError:
+                    pass
+                self._wake.clear()
+                continue
+            task = self._loop.create_task(self._run_batch(batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+        await self._finish_drain()
+
+    async def _run_batch(self, batch):
+        try:
+            outcomes = await self._loop.run_in_executor(
+                None, self.engine.run, batch
+            )
+            self.core.batch_done(batch, outcomes, self._now())
+        except Exception as exc:  # the engine thread itself blew up
+            logger.exception("service batch %d failed in the shell", batch.id)
+            self.core.batch_failed(
+                batch, f"engine error: {type(exc).__name__}: {exc}", self._now()
+            )
+        self._collect_unrouted()
+        self._wake.set()
+
+    async def _tick_loop(self):
+        while not self._done.is_set():
+            await asyncio.sleep(self.tick_interval_s)
+            if self._loop is None:
+                continue
+            self.core.tick(self._now())
+            self._collect_unrouted()
+
+    async def _finish_drain(self):
+        # In-flight batches finish (and checkpoint through the store).
+        if self._batch_tasks:
+            await asyncio.gather(*list(self._batch_tasks), return_exceptions=True)
+        self.core.tick(self._now())
+        self._persist_pending()
+        self._collect_unrouted()
+        self._server.close()
+        await self._server.wait_closed()
+        for task in self._tasks:
+            if task is not asyncio.current_task():
+                task.cancel()
+        self._done.set()
+        logger.info("service drained")
+
+
+async def serve(
+    core,
+    engine,
+    store=None,
+    host="127.0.0.1",
+    port=0,
+    ready=None,
+):
+    """Run a service until it drains (the ``repro serve`` entry point).
+
+    ``ready``, if given, is a callable invoked with the bound
+    :class:`ServiceServer` once it is listening -- tests and the CLI use
+    it to learn the real port.
+    """
+    server = ServiceServer(core, engine, store=store, host=host, port=port)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    await server.serve_until_drained()
+    return server

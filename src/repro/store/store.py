@@ -110,6 +110,7 @@ class ExperimentStore:
         self.fingerprint = fingerprint or code_fingerprint()
         self.schema_version = schema_version
         self.skipped_lines = 0
+        self.ledger_write_errors = 0
         self._index = {}  # key -> envelope (current schema/fingerprint only)
         self._loaded_prefixes = set()
 
@@ -242,6 +243,28 @@ class ExperimentStore:
 
     # -- run ledger -----------------------------------------------------
 
+    def _append_ledger_tolerant(self, event):
+        """Append one ledger event, surviving a full or failing disk.
+
+        The ledger is *accounting*, not results: losing a finish event
+        to ``ENOSPC``/``EIO`` costs a resume some cache bookkeeping, but
+        crashing a sweep at its very last step (after every record has
+        checkpointed) would cost the whole run.  Failures are logged and
+        counted (``ledger_write_errors`` + the ``store.ledger_write_errors``
+        obs counter) instead of raised.
+        """
+        try:
+            _append_line(self.ledger_path, canonical_json(event))
+            return True
+        except OSError as exc:
+            self.ledger_write_errors += 1
+            logger.error(
+                "store: ledger append failed (%s): %s", self.ledger_path, exc
+            )
+            if _obs.ENABLED:
+                _obs.SINK.inc("store.ledger_write_errors")
+            return False
+
     def begin_run(self, kind, cells, hits):
         """Append a start event; returns the ``run_id``.
 
@@ -274,22 +297,24 @@ class ExperimentStore:
         (quarantined cells included -- they are accounted separately in
         ``failures``) or ``"interrupted"`` for a graceful drain; a run
         with *no* finish event at all was killed outright.
+
+        Tolerant of disk-full/IO errors: by the time the finish event
+        is written every record has already checkpointed, so a failed
+        append is logged and counted rather than raised (the run simply
+        reads as "interrupted" until the next successful ledger write).
         """
-        _append_line(
-            self.ledger_path,
-            canonical_json(
-                {
-                    "event": "finish",
-                    "run_id": run_id,
-                    "kind": kind,
-                    "cells": int(cells),
-                    "hits": int(hits),
-                    "misses": int(misses),
-                    "status": status,
-                    "failures": int(failures),
-                    "time": time.time(),
-                }
-            ),
+        self._append_ledger_tolerant(
+            {
+                "event": "finish",
+                "run_id": run_id,
+                "kind": kind,
+                "cells": int(cells),
+                "hits": int(hits),
+                "misses": int(misses),
+                "status": status,
+                "failures": int(failures),
+                "time": time.time(),
+            }
         )
 
     def record_failure(self, run_id, failure):
@@ -304,6 +329,34 @@ class ExperimentStore:
         event = {"event": "cell_failure", "run_id": run_id, "time": time.time()}
         event.update(failure)
         _append_line(self.ledger_path, canonical_json(event))
+
+    def append_ledger_event(self, event):
+        """Append one arbitrary-kind ledger event (tolerant, see above).
+
+        ``event`` must carry ``event`` (the kind) and ``run_id`` keys --
+        the latter so :meth:`ledger_runs`'s reader treats unknown kinds
+        as well-formed strangers rather than corruption.  The WeHeY
+        service persists its pending queue as ``service_pending`` /
+        ``service_resume`` events through this; older readers ignore
+        them by construction.
+        """
+        if "event" not in event or "run_id" not in event:
+            raise ValueError("ledger events need 'event' and 'run_id' keys")
+        return self._append_ledger_tolerant(event)
+
+    def ledger_events(self, kind=None):
+        """Every well-formed ledger event, optionally filtered by kind.
+
+        The raw-event twin of :meth:`ledger_runs`, for consumers (the
+        service's drain/resume) whose events are not runs.
+        """
+        events = []
+        for ok, event in _iter_jsonl(self.ledger_path):
+            if not ok or "event" not in event:
+                continue
+            if kind is None or event["event"] == kind:
+                events.append(event)
+        return events
 
     def ledger_runs(self):
         """Every run, in ledger order; unfinished runs are "interrupted".

@@ -137,10 +137,33 @@ class TestFaultMatrix:
         report = coordinator.run_test(client.name, app="zoom")
         assert report.status is CoordinationStatus.REPLAY_FAILED
         assert report.n_attempts == 3
-        assert [a.backoff_s for a in report.attempts] == [0.5, 1.0, 0.0]
+        # Full jitter: each delay is uniform in [0, exponential delay],
+        # and the final (abandoning) attempt charges no backoff.
+        backoffs = [a.backoff_s for a in report.attempts]
+        assert 0.0 <= backoffs[0] <= 0.5
+        assert 0.0 <= backoffs[1] <= 1.0
+        assert backoffs[2] == 0.0
         assert all(a.server_pair for a in report.attempts)
         # Attempts rotate over candidate pairs, not entries[0] forever.
         assert len({a.server_pair for a in report.attempts}) > 1
+
+    def test_backoff_jitter_is_reproducible(self, records):
+        """Same seed + profile -> the same jittered backoff schedule."""
+        client = target_client(records)
+
+        def backoffs():
+            coordinator, _ = fresh_coordinator(
+                records, "replay_abort", seed=7,
+                policy=RetryPolicy(
+                    max_attempts=3, base_backoff_s=0.5, backoff_factor=2.0
+                ),
+            )
+            report = coordinator.run_test(client.name, app="zoom")
+            return [a.backoff_s for a in report.attempts]
+
+        first = backoffs()
+        assert backoffs() == first
+        assert any(b > 0 for b in first)
 
 
 class TestRetryRecovery:

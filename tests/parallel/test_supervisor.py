@@ -183,3 +183,26 @@ class TestGracefulDrain:
         before = signal.getsignal(signal.SIGINT)
         SweepExecutor(1).map(abs, [1, 2])
         assert signal.getsignal(signal.SIGINT) is before
+
+
+class TestRestartBudgetGauge:
+    def test_budget_published_on_start_and_after_worker_death(self):
+        executor = SweepExecutor(2, chaos_profile=DIE_ONCE,
+                                 max_worker_restarts=5)
+        with use_sink(MetricsSink()) as sink:
+            results = executor.map(abs, [0, -1, -2, -3])
+        assert results == [0, 1, 2, 3]
+        # One chaos-killed worker: the budget gauge drained by one.
+        assert sink.counters["parallel.worker_deaths"] == 1
+        assert sink.gauges["parallel.restart_budget_remaining"] == 4.0
+
+    def test_budget_gauge_never_goes_negative(self):
+        executor = SweepExecutor(
+            2,
+            chaos_profile=ChaosProfile(kill=1.0, seed=1),
+            max_cell_retries=0,
+            max_worker_restarts=1,
+        )
+        with use_sink(MetricsSink()) as sink:
+            executor.map(abs, [0, -1, -2, -3])
+        assert sink.gauges["parallel.restart_budget_remaining"] == 0.0

@@ -1,0 +1,148 @@
+"""Governor state machine hysteresis and circuit-breaker transitions."""
+
+import pytest
+
+from repro.service.degradation import (
+    CircuitBreaker,
+    LatencyWindow,
+    OverloadGovernor,
+    ServiceState,
+)
+
+
+class TestLatencyWindow:
+    def test_quantiles_over_rolling_window(self):
+        window = LatencyWindow(size=4)
+        assert window.quantile(0.99) == 0.0
+        for value in (1.0, 2.0, 3.0, 4.0):
+            window.observe(value)
+        assert window.quantile(0.0) == 1.0
+        assert window.quantile(0.99) == 4.0
+        # Evicts the oldest (1.0): max stays, min moves.
+        window.observe(0.5)
+        assert window.quantile(0.0) == 0.5
+        assert len(window) == 4
+
+    def test_duplicate_values_evict_one_instance(self):
+        window = LatencyWindow(size=2)
+        window.observe(7.0)
+        window.observe(7.0)
+        window.observe(1.0)
+        assert window.quantile(0.99) == 7.0
+
+
+def governor(**overrides):
+    kwargs = dict(
+        degraded_queue=10, shed_queue=20,
+        recover_fraction=0.5, recover_dwell_s=2.0,
+    )
+    kwargs.update(overrides)
+    return OverloadGovernor(**kwargs)
+
+
+class TestOverloadGovernor:
+    def test_escalation_is_immediate(self):
+        gov = governor()
+        assert gov.update(0.0, 0, 0.0) == ServiceState.HEALTHY
+        assert gov.update(1.0, 10, 0.0) == ServiceState.DEGRADED
+        assert gov.update(1.1, 20, 0.0) == ServiceState.SHEDDING
+
+    def test_healthy_to_shedding_skips_degraded(self):
+        gov = governor()
+        assert gov.update(0.0, 25, 0.0) == ServiceState.SHEDDING
+
+    def test_recovery_needs_calm_plus_dwell(self):
+        gov = governor()
+        gov.update(0.0, 12, 0.0)
+        assert gov.state == ServiceState.DEGRADED
+        # Below trip but above recover_fraction * trip: not calm.
+        assert gov.update(1.0, 8, 0.0) == ServiceState.DEGRADED
+        # Calm (5 <= 0.5*10) but dwell not yet served.
+        assert gov.update(2.0, 5, 0.0) == ServiceState.DEGRADED
+        assert gov.update(3.0, 5, 0.0) == ServiceState.DEGRADED
+        # Dwell complete.
+        assert gov.update(4.0, 5, 0.0) == ServiceState.HEALTHY
+
+    def test_pressure_spike_resets_the_dwell(self):
+        gov = governor()
+        gov.update(0.0, 12, 0.0)
+        gov.update(1.0, 4, 0.0)  # calm streak starts
+        gov.update(2.0, 8, 0.0)  # not calm: streak broken
+        gov.update(3.0, 4, 0.0)  # streak restarts
+        assert gov.update(4.0, 4, 0.0) == ServiceState.DEGRADED
+        assert gov.update(5.5, 4, 0.0) == ServiceState.HEALTHY
+
+    def test_recovery_steps_down_one_state_per_dwell(self):
+        gov = governor()
+        gov.update(0.0, 30, 0.0)
+        assert gov.state == ServiceState.SHEDDING
+        gov.update(1.0, 0, 0.0)
+        assert gov.update(3.0, 0, 0.0) == ServiceState.DEGRADED
+        # Another full dwell for the second step: the calm streak
+        # restarts when the state changes (at t=3.0 -> observed t=4.0).
+        assert gov.update(4.0, 0, 0.0) == ServiceState.DEGRADED
+        assert gov.update(5.5, 0, 0.0) == ServiceState.DEGRADED
+        assert gov.update(6.5, 0, 0.0) == ServiceState.HEALTHY
+
+    def test_p99_criterion_trips_without_queue_depth(self):
+        gov = governor(degraded_p99_s=1.0, shed_p99_s=5.0)
+        assert gov.update(0.0, 0, 1.2) == ServiceState.DEGRADED
+        assert gov.update(0.5, 0, 6.0) == ServiceState.SHEDDING
+
+    def test_transitions_are_recorded_with_reasons(self):
+        gov = governor()
+        gov.update(0.0, 15, 0.0)
+        gov.update(1.0, 0, 0.0)
+        gov.update(3.5, 0, 0.0)
+        states = [(old, new) for _t, old, new, _why in gov.transitions]
+        assert states == [
+            (ServiceState.HEALTHY, ServiceState.DEGRADED),
+            (ServiceState.DEGRADED, ServiceState.HEALTHY),
+        ]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            OverloadGovernor(degraded_queue=10, shed_queue=5)
+        with pytest.raises(ValueError):
+            OverloadGovernor(degraded_queue=1, shed_queue=2,
+                             recover_fraction=0.0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures_only(self):
+        breaker = CircuitBreaker(threshold=3, cooldown_s=10.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        breaker.record_success(0.2)  # resets the streak
+        breaker.record_failure(0.3)
+        breaker.record_failure(0.4)
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure(0.5)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+
+    def test_open_blocks_until_cooldown_then_single_probe(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_s=10.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow_dispatch(5.0)
+        assert breaker.allow_dispatch(10.5)  # the half-open probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow_dispatch(10.6)  # one probe at a time
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_s=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow_dispatch(1.5)
+        breaker.record_success(2.0)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow_dispatch(2.1)
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_s=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow_dispatch(1.5)
+        breaker.record_failure(2.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow_dispatch(2.5)
+        assert breaker.allow_dispatch(3.5)

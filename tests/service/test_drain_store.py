@@ -1,0 +1,192 @@
+"""SIGTERM drain against a live store: persist, restart, resume, complete.
+
+The satellite acceptance test: a service killed mid-load finishes its
+in-flight batches, persists the still-queued submissions to the store
+ledger, and a restarted service resumes them -- with every submission
+terminating exactly once and the resumed verdicts byte-identical to an
+uninterrupted control run.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.core import ServiceConfig, ServiceCore
+from repro.service.engine import SyntheticEngine
+from repro.store import ExperimentStore
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+SERVICE_S = 0.5  # synthetic mean cell time; min cell = 0.25 s
+N_SUBMISSIONS = 10  # > in-flight capacity (2 batches x 4), so >=2 queue
+
+
+def raw_submission(i):
+    return {
+        "id": f"req-{i:02d}",
+        "tenant": "carrier-a",
+        "client": f"client-{i % 3}",
+        "app": "netflix",
+        "deadline_s": 30,
+        "knobs": {"limiter": "common", "seed": i, "duration": 8.0},
+    }
+
+
+def spawn_service(store_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--synthetic",
+         "--synthetic-service-s", str(SERVICE_S),
+         "--store", str(store_dir), "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+    )
+    banner = proc.stdout.readline()
+    assert banner.startswith("serving on "), banner
+    port = int(banner.rsplit(":", 1)[1])
+    return proc, port
+
+
+def connect(port):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=20)
+    sock.settimeout(20)
+    return sock, sock.makefile("rwb")
+
+
+def send(stream, raw):
+    stream.write((json.dumps(raw) + "\n").encode())
+    stream.flush()
+
+
+def read_responses_until_eof(stream):
+    responses = []
+    for line in stream:
+        responses.append(json.loads(line))
+    return responses
+
+
+def finish(proc, sig=signal.SIGTERM, timeout=30):
+    if proc.poll() is None:
+        proc.send_signal(sig)
+    out, err = proc.communicate(timeout=timeout)
+    return proc.returncode, out, err
+
+
+def canonical(verdict):
+    return json.dumps(verdict, sort_keys=True)
+
+
+class TestDrainWithStore:
+    def test_sigterm_persists_queue_and_restart_completes_identically(
+        self, tmp_path
+    ):
+        # --- Control: the same load, uninterrupted. ---------------------
+        control_proc, control_port = spawn_service(tmp_path / "control")
+        sock, stream = connect(control_port)
+        try:
+            for i in range(N_SUBMISSIONS):
+                send(stream, raw_submission(i))
+            control_verdicts = {}
+            while len(control_verdicts) < N_SUBMISSIONS:
+                response = json.loads(stream.readline())
+                assert response["status"] == "VERDICT", response
+                control_verdicts[response["id"]] = response["verdict"]
+        finally:
+            sock.close()
+        code, _out, _err = finish(control_proc)
+        assert code == 0
+
+        # --- Interrupted run: SIGTERM while batches are in flight. ------
+        store_dir = tmp_path / "interrupted"
+        proc, port = spawn_service(store_dir)
+        sock, stream = connect(port)
+        submitted = set()
+        try:
+            for i in range(N_SUBMISSIONS):
+                raw = raw_submission(i)
+                send(stream, raw)
+                submitted.add(raw["id"])
+            # Well before the fastest possible cell (0.25 s) completes:
+            # in-flight batches exist, and >= 2 submissions are queued.
+            time.sleep(0.15)
+            proc.send_signal(signal.SIGTERM)
+            responses = read_responses_until_eof(stream)
+        finally:
+            sock.close()
+        code, _out, err = finish(proc)
+        assert code == 0, err
+        served = {r["id"]: r for r in responses}
+        assert all(r["status"] == "VERDICT" for r in served.values()), served
+
+        # --- The drain persisted exactly the unserved remainder. --------
+        store = ExperimentStore(store_dir)
+        events = list(store.ledger_events("service_pending"))
+        assert len(events) == 1
+        pending = events[0]["pending"]
+        pending_ids = {p["id"] for p in pending}
+        assert pending_ids, "expected queued submissions at SIGTERM"
+        # Exactly-once across the crash: served + persisted = submitted.
+        assert served.keys() | pending_ids == submitted
+        assert not served.keys() & pending_ids
+        by_id = {f"req-{i:02d}": raw_submission(i) for i in range(N_SUBMISSIONS)}
+        for payload in pending:
+            assert 0.0 < payload["remaining_s"] < 30.0
+            original = by_id[payload["id"]]
+            # as_dict() may add defaulted fields (carrier); every field
+            # the client sent must round-trip unchanged.
+            for key, value in original.items():
+                assert payload["submission"][key] == value
+
+        # --- In-flight verdicts match the control run byte for byte. ----
+        for rid, response in served.items():
+            assert canonical(response["verdict"]) == canonical(
+                control_verdicts[rid]
+            )
+
+        # --- A restarted service resumes and completes the remainder. ---
+        restarted, _port = spawn_service(store_dir)
+        deadline = time.time() + 20.0
+        while time.time() < deadline:
+            resumes = list(
+                ExperimentStore(store_dir).ledger_events("service_resume")
+            )
+            if resumes:
+                break
+            time.sleep(0.1)
+        assert resumes and resumes[0]["drain_id"] == events[0]["drain_id"]
+        # Give the resumed batches time to finish, then drain.
+        time.sleep(4.0 * SERVICE_S)
+        code, _out, err = finish(restarted)
+        assert code == 0, err
+        assert f"resumed {len(pending_ids)} persisted submissions" in err
+        assert f"VERDICT={len(pending_ids)}" in err, err
+
+        # --- ...byte-identically: same core + engine path in-process. ---
+        core = ServiceCore(ServiceConfig())
+        assert core.resume(pending, now=0.0) == len(pending)
+        engine = SyntheticEngine(mean_service_s=SERVICE_S, realtime=False)
+        resumed_verdicts = {}
+        while True:
+            batch = core.next_batch(now=0.0)
+            if batch is None:
+                break
+            core.batch_done(batch, engine.run(batch), now=0.0)
+            for response in core.take_responses():
+                assert response.status == "VERDICT"
+                resumed_verdicts[response.id] = response.verdict
+        assert resumed_verdicts.keys() == pending_ids
+        for rid, verdict in resumed_verdicts.items():
+            assert canonical(verdict) == canonical(control_verdicts[rid])
+
+        # --- A second restart finds the drain consumed: resumes zero. ---
+        again, _port = spawn_service(store_dir)
+        time.sleep(0.2)
+        code, _out, err = finish(again)
+        assert code == 0
+        assert "resumed" not in err

@@ -1,0 +1,94 @@
+"""The ledger survives a full or failing disk: logged, counted, not raised."""
+
+import errno
+
+import pytest
+
+from repro.obs.metrics import MetricsSink, use_sink
+from repro.store import ExperimentStore
+from repro.store import store as store_module
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ExperimentStore(tmp_path / "store")
+
+
+def break_ledger_appends(monkeypatch, error=errno.ENOSPC):
+    def exploding_append(path, line):
+        raise OSError(error, "disk event")
+
+    monkeypatch.setattr(store_module, "_append_line", exploding_append)
+
+
+class TestFinishRunTolerance:
+    def test_enospc_on_finish_is_swallowed_and_counted(
+        self, store, monkeypatch, caplog
+    ):
+        run_id = store.begin_run("detection", cells=4, hits=0)
+        break_ledger_appends(monkeypatch)
+        with caplog.at_level("ERROR", logger="repro.store.store"):
+            store.finish_run(run_id, "detection", cells=4, hits=0, misses=4)
+        assert store.ledger_write_errors == 1
+        assert any("ledger append failed" in r.message for r in caplog.records)
+        # The run reads as interrupted -- not as a crash.
+        (run,) = store.ledger_runs()
+        assert run["status"] == "interrupted"
+
+    def test_eio_is_tolerated_too(self, store, monkeypatch):
+        run_id = store.begin_run("detection", cells=1, hits=0)
+        break_ledger_appends(monkeypatch, error=errno.EIO)
+        store.finish_run(run_id, "detection", cells=1, hits=0, misses=1)
+        assert store.ledger_write_errors == 1
+
+    def test_obs_counter_increments(self, store, monkeypatch):
+        run_id = store.begin_run("detection", cells=1, hits=0)
+        break_ledger_appends(monkeypatch)
+        with use_sink(MetricsSink()) as sink:
+            store.finish_run(run_id, "detection", cells=1, hits=0, misses=1)
+            store.finish_run(run_id, "detection", cells=1, hits=0, misses=1)
+        assert sink.snapshot()["counters"]["store.ledger_write_errors"] == 2
+        assert store.ledger_write_errors == 2
+
+    def test_healthy_disk_counts_nothing(self, store):
+        run_id = store.begin_run("detection", cells=1, hits=1)
+        store.finish_run(run_id, "detection", cells=1, hits=1, misses=0)
+        assert store.ledger_write_errors == 0
+        (run,) = store.ledger_runs()
+        assert run["status"] == "complete"
+
+
+class TestAppendLedgerEvent:
+    def test_requires_event_and_run_id_keys(self, store):
+        with pytest.raises(ValueError):
+            store.append_ledger_event({"event": "service_pending"})
+        with pytest.raises(ValueError):
+            store.append_ledger_event({"run_id": "abc"})
+
+    def test_round_trips_through_ledger_events(self, store):
+        assert store.append_ledger_event(
+            {"event": "service_pending", "run_id": "d1", "pending": [1, 2]}
+        )
+        assert store.append_ledger_event(
+            {"event": "service_resume", "run_id": "d1"}
+        )
+        (pending,) = store.ledger_events("service_pending")
+        assert pending["pending"] == [1, 2]
+        assert len(store.ledger_events()) == 2
+        assert store.ledger_events("nope") == []
+
+    def test_unknown_kinds_do_not_corrupt_ledger_runs(self, store):
+        store.append_ledger_event({"event": "service_pending", "run_id": "d1"})
+        run_id = store.begin_run("detection", cells=1, hits=0)
+        store.finish_run(run_id, "detection", cells=1, hits=0, misses=1)
+        (run,) = store.ledger_runs()
+        assert run["run_id"] == run_id
+        assert store.skipped_lines == 0
+
+    def test_write_failure_returns_false(self, store, monkeypatch):
+        break_ledger_appends(monkeypatch)
+        ok = store.append_ledger_event(
+            {"event": "service_pending", "run_id": "d1"}
+        )
+        assert ok is False
+        assert store.ledger_write_errors == 1
