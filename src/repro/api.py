@@ -98,6 +98,7 @@ class SweepRequest:
         entropy=0,
         merge_flows=False,
         fault_profile=None,
+        fidelity=None,
         jobs=None,
         store=None,
         no_cache=False,
@@ -113,11 +114,17 @@ class SweepRequest:
         :class:`~repro.experiments.runner.DetectionExperimentRecord`
         objects in config order.  ``fault_profile`` injects per-cell
         failures seeded from each cell's own ``config.seed``.
+        ``fidelity`` (``"packet"``/``"hybrid"``), when given, overrides
+        every config's own fidelity field -- the sweep-wide knob behind
+        ``repro sweep --fidelity``.
         """
+        configs = list(configs)
+        if fidelity is not None:
+            configs = [config.with_(fidelity=fidelity) for config in configs]
         return cls(
             kind="detection",
             params={
-                "configs": list(configs),
+                "configs": configs,
                 "detectors": detectors,
                 "modified": modified,
                 "entropy": entropy,
@@ -142,6 +149,7 @@ class SweepRequest:
         apps=("netflix",),
         seeds=range(3),
         sanity_check=False,
+        fidelity="packet",
         jobs=None,
         store=None,
         no_cache=False,
@@ -163,6 +171,7 @@ class SweepRequest:
                 "apps": tuple(apps),
                 "seeds": list(seeds),
                 "sanity_check": sanity_check,
+                "fidelity": fidelity,
             },
             jobs=jobs,
             store=store,
@@ -182,6 +191,7 @@ class SweepRequest:
         app="netflix",
         duration=15.0,
         base_seed=5000,
+        fidelity="packet",
         jobs=1,
         store=None,
         no_cache=False,
@@ -203,6 +213,7 @@ class SweepRequest:
                 "app": app,
                 "duration": duration,
                 "base_seed": base_seed,
+                "fidelity": fidelity,
             },
             jobs=jobs,
             store=store,
@@ -285,6 +296,7 @@ def _run_wild(request):
         request.params["apps"],
         request.params["seeds"],
         sanity_check=request.params["sanity_check"],
+        fidelity=request.params.get("fidelity", "packet"),
         jobs=request.jobs,
         store=request.store,
         no_cache=request.no_cache,
@@ -303,6 +315,7 @@ def _run_tdiff(request):
         app=request.params["app"],
         duration=request.params["duration"],
         base_seed=request.params["base_seed"],
+        fidelity=request.params.get("fidelity", "packet"),
         jobs=request.jobs if request.jobs is not None else 1,
         store=request.store,
         no_cache=request.no_cache,

@@ -50,6 +50,12 @@ def _add_scenario_arguments(parser):
     parser.add_argument("--duration", type=float, default=60.0,
                         help="replay duration in seconds")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--fidelity", default="packet", choices=["packet", "hybrid"],
+        help="simulation fidelity: 'packet' simulates every background "
+             "packet; 'hybrid' uses the calibrated fluid background "
+             "model (5-10x faster cells, verdict-equivalent)",
+    )
 
 
 def _scenario_from(args):
@@ -60,6 +66,7 @@ def _scenario_from(args):
         queue_factor=args.queue,
         duration=args.duration,
         seed=args.seed,
+        fidelity=args.fidelity,
     )
 
 

@@ -27,6 +27,11 @@ from repro.netsim.background import (
     TcpBackgroundPool,
 )
 from repro.netsim.engine import Simulator
+from repro.netsim.fluid import (
+    FluidPoissonBackground,
+    FluidTcpBackground,
+    harvest_fluid,
+)
 from repro.netsim.path import Path
 from repro.obs import harvest_topology
 from repro.obs import metrics as _obs
@@ -59,12 +64,14 @@ class _Environment:
             limiter_rate_bps=config.limiter_rate_bps,
             queue_factor=config.queue_factor,
             noncommon_bandwidth_bps=config.noncommon_bandwidth_bps,
+            fidelity=getattr(config, "fidelity", "packet"),
         )
         self.topology = FigureOneTopology(self.sim, topo_config)
         self._attach_background()
 
     def _attach_background(self):
         config = self.config
+        hybrid = getattr(config, "fidelity", "packet") == "hybrid"
         stop = WARMUP + config.duration + DRAIN
         for which, rng_udp, rng_tcp in (
             (1, self.rngs[0], self.rngs[2]),
@@ -81,18 +88,31 @@ class _Environment:
                 4e6,
             )
             side_rate = marked + unmarked
-            ModulatedPoissonBackground(
-                self.sim,
-                rng_udp,
-                Path(links, CountingSink()),
-                side_rate,
-                dscp1_fraction=marked / side_rate if side_rate > 0 else 0.0,
-                modulation=config.background_modulation,
-                stop_at=stop,
-                flow_id=f"bg-udp-{which}",
-            )
+            if hybrid:
+                FluidPoissonBackground(
+                    self.sim,
+                    rng_udp,
+                    links,
+                    side_rate,
+                    dscp1_fraction=marked / side_rate if side_rate > 0 else 0.0,
+                    modulation=config.background_modulation,
+                    stop_at=stop,
+                    flow_id=f"bg-udp-{which}",
+                )
+            else:
+                ModulatedPoissonBackground(
+                    self.sim,
+                    rng_udp,
+                    Path(links, CountingSink()),
+                    side_rate,
+                    dscp1_fraction=marked / side_rate if side_rate > 0 else 0.0,
+                    modulation=config.background_modulation,
+                    stop_at=stop,
+                    flow_id=f"bg-udp-{which}",
+                )
             if config.tcp_background_flows > 0:
-                TcpBackgroundPool(
+                tcp_source = FluidTcpBackground if hybrid else TcpBackgroundPool
+                tcp_source(
                     self.sim,
                     rng_tcp,
                     links,
@@ -111,6 +131,8 @@ class _Environment:
             # statistics the simulator keeps anyway -- one harvest per
             # run, zero per-packet cost.
             harvest_topology(_obs.SINK, self.topology, elapsed)
+            if getattr(self.config, "fidelity", "packet") == "hybrid":
+                harvest_fluid(_obs.SINK, self.topology)
 
     @property
     def ack_jitter_rng(self):

@@ -47,12 +47,20 @@ class ScenarioConfig:
     #: extra loss-measurement noise (see RetransmissionLossEstimator)
     overcount_rate: float = 0.0
     registration_jitter: float = 0.0
+    #: ``"packet"`` simulates every background packet exactly;
+    #: ``"hybrid"`` replaces background traffic with the calibrated
+    #: fluid model of :mod:`repro.netsim.fluid` (only foreground
+    #: replay packets and ACKs remain exact DES events).  Part of the
+    #: store cache key -- records from the two fidelities never alias.
+    fidelity: str = "packet"
 
     def __post_init__(self):
         if self.app not in APP_SPECS:
             raise ValueError(f"unknown app {self.app!r}")
         if self.limiter not in (None, "common", "noncommon", "perflow"):
             raise ValueError(f"unknown limiter placement {self.limiter!r}")
+        if self.fidelity not in ("packet", "hybrid"):
+            raise ValueError(f"unknown fidelity {self.fidelity!r}")
         if self.input_rate_factor <= 1.0 and self.limiter is not None:
             raise ValueError("input_rate_factor must exceed 1 for throttling to bite")
         if not 0.0 <= self.background_share <= 1.0:

@@ -32,6 +32,7 @@ def _tdiff_sweep(
     app="netflix",
     duration=15.0,
     base_seed=5000,
+    fidelity="packet",
     jobs=1,
     store=None,
     no_cache=False,
@@ -67,6 +68,7 @@ def _tdiff_sweep(
             input_rate_factor=1.5,
             duration=duration,
             seed=base_seed + pair,
+            fidelity=fidelity,
         )
         for pair in range(n_pairs)
     ]

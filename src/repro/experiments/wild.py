@@ -34,6 +34,7 @@ from repro.experiments.runner import (
 )
 from repro.netsim.background import CountingSink, ModulatedPoissonBackground
 from repro.netsim.engine import Simulator
+from repro.netsim.fluid import FluidPoissonBackground
 from repro.netsim.path import Path
 from repro.netsim.topology import FigureOneTopology, TopologyConfig
 from repro.obs import harvest_topology
@@ -103,13 +104,19 @@ class WildReplayService:
         seed: experiment seed.
         sanity_check: when True, a third server replays the original
             trace concurrently during original simultaneous replays.
+        fidelity: ``"packet"`` simulates the non-targeted background
+            per packet; ``"hybrid"`` replaces it with the calibrated
+            fluid model of :mod:`repro.netsim.fluid`.
     """
 
-    def __init__(self, isp, app, seed=0, duration=45.0, sanity_check=False):
+    def __init__(
+        self, isp, app, seed=0, duration=45.0, sanity_check=False, fidelity="packet"
+    ):
         self.isp = isp
         self.app = app
         self.duration = duration
         self.sanity_check = sanity_check
+        self.fidelity = fidelity
         self._seed_seq = np.random.SeedSequence([hash(isp.name) % (2**31), seed])
         self._trace_rng = np.random.default_rng(self._seed_seq.spawn(1)[0])
         self.modified = True
@@ -128,6 +135,7 @@ class WildReplayService:
             limiter_rate_bps=self.isp.throttle_rate_bps,
             queue_factor=self.isp.queue_factor,
             extra_server_rtts=(self.isp.rtt * 1.2,),
+            fidelity=self.fidelity,
         )
         topology = FigureOneTopology(sim, config)
         if self.isp.trigger_bytes is not None:
@@ -139,14 +147,24 @@ class WildReplayService:
             )
         # Light non-targeted background; it shares links but not the
         # per-client policer (dscp1_fraction = 0).
-        ModulatedPoissonBackground(
-            sim,
-            rng_bg,
-            Path([topology.link_1, topology.link_c], CountingSink()),
-            4e6,
-            dscp1_fraction=0.0,
-            stop_at=WARMUP + self.duration + DRAIN,
-        )
+        if self.fidelity == "hybrid":
+            FluidPoissonBackground(
+                sim,
+                rng_bg,
+                [topology.link_1, topology.link_c],
+                4e6,
+                dscp1_fraction=0.0,
+                stop_at=WARMUP + self.duration + DRAIN,
+            )
+        else:
+            ModulatedPoissonBackground(
+                sim,
+                rng_bg,
+                Path([topology.link_1, topology.link_c], CountingSink()),
+                4e6,
+                dscp1_fraction=0.0,
+                stop_at=WARMUP + self.duration + DRAIN,
+            )
         return sim, topology
 
     def single_replay(self, trace):
@@ -214,14 +232,18 @@ def default_tdiff(seed=1234):
     return _TDIFF_CACHE[seed]
 
 
-def run_wild_test(isp_name, app="netflix", seed=0, sanity_check=False, tdiff=None):
+def run_wild_test(
+    isp_name, app="netflix", seed=0, sanity_check=False, fidelity="packet", tdiff=None
+):
     """One Section-5 test; returns the localizer's report.
 
     Basic tests should localize (per-client throttling); sanity-check
     tests should not.
     """
     isp = WILD_ISPS[isp_name]
-    service = WildReplayService(isp, app, seed=seed, sanity_check=sanity_check)
+    service = WildReplayService(
+        isp, app, seed=seed, sanity_check=sanity_check, fidelity=fidelity
+    )
     rng = np.random.default_rng(np.random.SeedSequence([seed, 77]))
     localizer = WeHeYLocalizer(
         rng,

@@ -19,9 +19,13 @@ Scheduling is split into two tiers so the hot path stays allocation-free:
 """
 
 import heapq
-import itertools
 
 from repro.obs import metrics as _obs
+
+# Bound once at module level: the schedule methods are the hottest
+# non-loop call sites in the engine, and LOAD_GLOBAL(heapq) +
+# LOAD_ATTR(heappush) per event is measurable at millions of events.
+_heappush = heapq.heappush
 
 
 class EventHandle:
@@ -59,7 +63,10 @@ class Simulator:
     def __init__(self):
         self._now = 0.0
         self._heap = []
-        self._counter = itertools.count()
+        # Tie-break sequence: a plain int beats itertools.count() here
+        # because the increment inlines into the schedule methods while
+        # next() pays a call per event.  Ordering is unchanged.
+        self._counter = 0
         self._running = False
         self._n_cancelled = 0
         #: Events executed by :meth:`run` over this simulator's lifetime
@@ -82,9 +89,9 @@ class Simulator:
         when = self._now + delay
         if delay < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay})")
-        heapq.heappush(
-            self._heap, (when, next(self._counter), None, callback, args)
-        )
+        seq = self._counter
+        self._counter = seq + 1
+        _heappush(self._heap, (when, seq, None, callback, args))
 
     def schedule_at(self, when, callback, *args):
         """Schedule ``callback(*args)`` at absolute time ``when``."""
@@ -92,9 +99,9 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule at {when}; current time is {self._now}"
             )
-        heapq.heappush(
-            self._heap, (when, next(self._counter), None, callback, args)
-        )
+        seq = self._counter
+        self._counter = seq + 1
+        _heappush(self._heap, (when, seq, None, callback, args))
 
     def schedule_cancellable(self, delay, callback, *args):
         """Like :meth:`schedule`, but returns a cancellable handle."""
@@ -109,9 +116,9 @@ class Simulator:
                 f"cannot schedule at {when}; current time is {self._now}"
             )
         handle = EventHandle(self)
-        heapq.heappush(
-            self._heap, (when, next(self._counter), handle, callback, args)
-        )
+        seq = self._counter
+        self._counter = seq + 1
+        _heappush(self._heap, (when, seq, handle, callback, args))
         return handle
 
     def run(self, until=None):

@@ -1,0 +1,943 @@
+"""Hybrid fluid/mean-rate background model (``fidelity="hybrid"``).
+
+Full-DES experiments spend the overwhelming majority of their event
+budget on *background* packets, while only the background's aggregate
+rate trajectory matters to the detection and localization verdicts: the
+loss-trend signal Algorithm 1 correlates is driven by seconds-scale
+fluctuations of the background rate, not by individual cross-traffic
+packets.  This module replaces the per-packet background generators
+with piecewise-constant *fluid* rate processes sampled from the same
+seeded AR(1) + Pareto draw machinery, so rate trajectories stay
+deterministic per seed while the event count collapses to a handful of
+rate-change ticks per second.
+
+Only foreground replay packets (and their ACKs) remain exact DES
+events.  Background load shows up as a **virtual load term** inside the
+queueing disciplines:
+
+- :class:`FluidDropTailQueue` -- a drop-tail FIFO whose serialization
+  capacity is shared with a fluid background aggregate.  Virtual
+  backlog ``V`` evolves in closed form between foreground events; a
+  foreground packet is dropped when real + virtual occupancy exceeds
+  the capacity, and the head-of-line packet waits until the virtual
+  bytes *ahead of it* (FIFO order, tracked by per-packet arrival marks)
+  have been served.
+- :class:`FluidTokenBucketFilter` -- a token bucket whose tokens are
+  continuously depleted by the marked (dscp=1) fluid share.  Token
+  depletion, virtual queue occupancy and the head-of-line wake time are
+  computed from the fluid rate between foreground events instead of
+  from simulated background packets.
+- :class:`FluidDualClassQdisc` / :class:`FluidPerFlowQdisc` -- the
+  classful devices of Appendix C.1 and Section 7 assembled from the two
+  fluid parts.
+
+Fluid state advances lazily: every foreground interaction and every
+source rate-change tick calls ``_advance(now)``, which integrates the
+piecewise-constant arrival and service processes in closed form.  The
+integration applies each window's arrivals and service as bulk
+quantities, so ordering error within a window is bounded by the window
+length -- at most the finest modulation period (0.2 s by default).
+
+Approximations (validated by the verdict-invariance gate in
+``repro.perf`` and CI's fidelity-gate job):
+
+- the per-packet Bernoulli dscp marking becomes a deterministic
+  mean-rate split of the aggregate;
+- multi-hop propagation clips a source's rate at each upstream link's
+  bandwidth instead of modelling per-hop queueing of background by
+  background;
+- background TCP flows do not back off under loss -- their offered
+  fluid rate is app-paced (long-lived) or a slow-start-aware pulse
+  (short flows), and the excess is absorbed as virtual drops, exactly
+  like the UDP aggregate.
+
+Byte conservation is exact by construction:
+``bytes_offered == bytes_served + bytes_dropped + virtual_backlog``
+for every fluid queue, and ``tests/netsim/test_fluid.py`` plus the
+``netsim.fluid.*`` observability counters double-book it.
+"""
+
+import math
+from collections import deque
+
+import numpy as np
+
+from repro.netsim.background import (
+    DEFAULT_MODULATION,
+    PACKET_SIZE_MIX,
+    _Ar1Component,
+)
+from repro.netsim.queues import DropTailQueue
+from repro.netsim.token_bucket import DualClassQdisc, _dscp_classifier
+from repro.obs import metrics as _obs
+
+#: Wire bytes per payload byte for background TCP (MSS 1448 + 52 header).
+TCP_WIRE_OVERHEAD = (1448.0 + 52.0) / 1448.0
+
+#: Peak effective rate of one short background TCP flow (bits/s): the
+#: approximate fair share such a flow reaches on the paper's topologies
+#: before it completes.
+SHORT_FLOW_PEAK_BPS = 3e6
+
+#: Pure-TCP segment payload used by the short-flow slow-start estimate.
+_SHORT_FLOW_MSS = 1448.0
+
+#: Tolerance (bytes) below which a virtual backlog counts as drained.
+_EPS_BYTES = 1e-6
+
+#: Guard added to computed wake times so float rounding cannot livelock
+#: a link retry loop (same convention as TokenBucketFilter.dequeue).
+_WAKE_GUARD = 1e-9
+
+
+class FluidDropTailQueue(DropTailQueue):
+    """A drop-tail FIFO sharing its serialization capacity with fluid.
+
+    The queue belongs to a link serving ``service_bps``; the link's
+    constructor wires that rate in through :meth:`set_service_rate`.
+    Real (foreground) packets and the virtual background interleave in
+    FIFO order: each real packet is stamped with the cumulative admitted
+    background byte count at its arrival, and it may only be transmitted
+    once the background bytes ahead of it have drained.
+    """
+
+    __slots__ = (
+        "service_bps",
+        "_fluid_rates",
+        "_fluid_rate_Bps",
+        "_last_fluid",
+        "_v",
+        "_marks",
+        "_bg_pos",
+        "bg_bytes_offered",
+        "bg_bytes_served",
+        "bg_bytes_dropped",
+        "_real_out",
+        "_real_out_mark",
+        "fluid_deferrals",
+    )
+
+    def __init__(self, capacity_bytes=200_000, service_bps=None):
+        super().__init__(capacity_bytes)
+        self.service_bps = service_bps
+        self._fluid_rates = {}  # source -> bits/s entering this queue
+        self._fluid_rate_Bps = 0.0  # aggregate, bytes/s
+        self._last_fluid = 0.0
+        self._v = 0.0  # virtual background backlog (bytes)
+        self._marks = deque()  # admitted-bg position per queued packet
+        self._bg_pos = 0.0  # cumulative admitted background bytes
+        self.bg_bytes_offered = 0.0
+        self.bg_bytes_served = 0.0
+        self.bg_bytes_dropped = 0.0
+        self._real_out = 0.0  # cumulative real bytes dequeued
+        self._real_out_mark = 0.0
+        self.fluid_deferrals = 0
+
+    # -- fluid plumbing ----------------------------------------------
+
+    def set_service_rate(self, bps):
+        """Called by the owning link: the serialization rate fluid shares."""
+        self.service_bps = bps
+
+    def set_source_rate(self, now, source, marked_bps, unmarked_bps, n_flows=1):
+        """Update one source's piecewise-constant rate through this queue.
+
+        A neutral link does not classify, so marked and unmarked shares
+        are folded into one aggregate.
+        """
+        self._advance(now)
+        rate = marked_bps + unmarked_bps
+        previous = self._fluid_rates.get(source, 0.0)
+        if rate != previous:
+            self._fluid_rates[source] = rate
+            self._fluid_rate_Bps += (rate - previous) / 8.0
+            if self._fluid_rate_Bps < 0.0:
+                self._fluid_rate_Bps = 0.0
+
+    @property
+    def virtual_backlog_bytes(self):
+        return self._v
+
+    def fluid_stats(self):
+        """Byte-conservation snapshot (offered == served + dropped + V)."""
+        return {
+            "bg_bytes_offered": self.bg_bytes_offered,
+            "bg_bytes_served": self.bg_bytes_served,
+            "bg_bytes_dropped": self.bg_bytes_dropped,
+            "virtual_backlog_bytes": self._v,
+            "fluid_deferrals": self.fluid_deferrals,
+        }
+
+    def _advance(self, now):
+        """Integrate the fluid between the last interaction and ``now``.
+
+        Service capacity unused by real transmissions drains background
+        in FIFO order: only the virtual bytes *ahead of the real head*
+        (or the whole backlog when no real packet is queued) may be
+        served.  Arrivals behind a queued real packet never starve it.
+        """
+        dt = now - self._last_fluid
+        if dt <= 0.0:
+            return
+        self._last_fluid = now
+        arrivals = self._fluid_rate_Bps * dt
+        if arrivals == 0.0 and self._v <= _EPS_BYTES:
+            self._real_out_mark = self._real_out
+            return
+        real_out = self._real_out - self._real_out_mark
+        self._real_out_mark = self._real_out
+        service = (self.service_bps / 8.0) * dt - real_out
+        if service < 0.0:
+            service = 0.0
+        self.bg_bytes_offered += arrivals
+        if self._queue:
+            # Bytes ahead of the real head are servable; new arrivals
+            # queue behind every real packet already present.
+            servable = self._marks[0] - (self._bg_pos - self._v)
+            if servable > self._v:
+                servable = self._v
+            served = servable if servable < service else service
+            if served > 0.0:
+                self._v -= served
+                self.bg_bytes_served += served
+            headroom = self.capacity_bytes - self._bytes - self._v
+            admitted = arrivals if arrivals < headroom else max(headroom, 0.0)
+            self._v += admitted
+            self._bg_pos += admitted
+            dropped = arrivals - admitted
+        else:
+            served = self._v if self._v < service else service
+            if served > 0.0:
+                self._v -= served
+                self.bg_bytes_served += served
+                service -= served
+            direct = arrivals if arrivals < service else service
+            remaining = arrivals - direct
+            headroom = self.capacity_bytes - self._v
+            admitted = remaining if remaining < headroom else max(headroom, 0.0)
+            self._v += admitted
+            self._bg_pos += direct + admitted
+            self.bg_bytes_served += direct
+            dropped = remaining - admitted
+        if dropped > 0.0:
+            self.bg_bytes_dropped += dropped
+            if _obs.ENABLED:
+                _obs.SINK.inc("netsim.fluid.virtual_drop_bytes", dropped)
+
+    # -- queue interface ---------------------------------------------
+
+    def enqueue(self, packet, now):
+        self._advance(now)
+        if self._bytes + self._v + packet.size > self.capacity_bytes:
+            self.drops += 1
+            if _obs.ENABLED:
+                _obs.SINK.inc("netsim.queue.drops")
+                _obs.SINK.observe(
+                    "netsim.queue.occupancy_at_drop_bytes", self._bytes + self._v
+                )
+            return False
+        packet.enqueued_at = now
+        self._queue.append(packet)
+        self._marks.append(self._bg_pos)
+        self._bytes += packet.size
+        self.enqueued += 1
+        return True
+
+    def dequeue(self, now):
+        self._advance(now)
+        if not self._queue:
+            return None, None
+        ahead = self._marks[0] - (self._bg_pos - self._v)
+        if ahead > _EPS_BYTES:
+            # The head must wait for the background ahead of it; later
+            # background arrivals land behind it, so the wake is exact.
+            self.fluid_deferrals += 1
+            if _obs.ENABLED:
+                _obs.SINK.inc("netsim.fluid.deferrals")
+            return None, now + ahead * 8.0 / self.service_bps + _WAKE_GUARD
+        self._marks.popleft()
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        self.delay_sum += now - packet.enqueued_at
+        self.delay_samples += 1
+        self._real_out += packet.size
+        return packet, None
+
+
+class FluidTokenBucketFilter:
+    """A token bucket whose tokens are also depleted by a fluid share.
+
+    Mirrors :class:`~repro.netsim.token_bucket.TokenBucketFilter`'s
+    interface and accounting exactly (drops/enqueued/mean_delay/
+    backlog_bytes, the ``netsim.tbf.*`` counters), but the marked
+    background arrives as a rate process instead of packets: between
+    foreground events, generated tokens first serve the virtual backlog
+    in FIFO order, and foreground drop/wake decisions are computed from
+    the combined real + virtual occupancy.
+    """
+
+    __slots__ = (
+        "rate_bps",
+        "burst_bytes",
+        "limit_bytes",
+        "_queue",
+        "_tokens",
+        "_last_update",
+        "_fluid_rates",
+        "_fluid_rate_Bps",
+        "_v",
+        "_marks",
+        "_bg_pos",
+        "bg_bytes_offered",
+        "bg_bytes_served",
+        "bg_bytes_dropped",
+        "fluid_deferrals",
+    )
+
+    def __init__(self, rate_bps, burst_bytes, limit_bytes):
+        if rate_bps <= 0:
+            raise ValueError("TBF rate must be positive")
+        if burst_bytes <= 0:
+            raise ValueError("TBF burst must be positive")
+        self.rate_bps = rate_bps
+        self.burst_bytes = burst_bytes
+        self.limit_bytes = max(limit_bytes, 1)
+        self._queue = DropTailQueue(self.limit_bytes)
+        self._tokens = float(burst_bytes)
+        self._last_update = 0.0
+        self._fluid_rates = {}
+        self._fluid_rate_Bps = 0.0
+        self._v = 0.0
+        self._marks = deque()
+        self._bg_pos = 0.0
+        self.bg_bytes_offered = 0.0
+        self.bg_bytes_served = 0.0
+        self.bg_bytes_dropped = 0.0
+        self.fluid_deferrals = 0
+
+    def __len__(self):
+        return len(self._queue)
+
+    @property
+    def drops(self):
+        return self._queue.drops
+
+    @property
+    def enqueued(self):
+        return self._queue.enqueued
+
+    @property
+    def mean_delay(self):
+        return self._queue.mean_delay
+
+    @property
+    def backlog_bytes(self):
+        return self._queue.backlog_bytes
+
+    @property
+    def virtual_backlog_bytes(self):
+        return self._v
+
+    def fluid_stats(self):
+        return {
+            "bg_bytes_offered": self.bg_bytes_offered,
+            "bg_bytes_served": self.bg_bytes_served,
+            "bg_bytes_dropped": self.bg_bytes_dropped,
+            "virtual_backlog_bytes": self._v,
+            "fluid_deferrals": self.fluid_deferrals,
+        }
+
+    def set_fluid_rate(self, now, source, bps):
+        """Update one source's marked-share rate entering this bucket."""
+        self._advance(now)
+        previous = self._fluid_rates.get(source, 0.0)
+        if bps != previous:
+            self._fluid_rates[source] = bps
+            self._fluid_rate_Bps += (bps - previous) / 8.0
+            if self._fluid_rate_Bps < 0.0:
+                self._fluid_rate_Bps = 0.0
+
+    def tokens(self, now):
+        """Tokens available at ``now`` after fluid depletion (bytes)."""
+        self._advance(now)
+        return self._tokens
+
+    def _advance(self, now):
+        dt = now - self._last_update
+        if dt <= 0.0:
+            return
+        self._last_update = now
+        generated = (self.rate_bps / 8.0) * dt
+        arrivals = self._fluid_rate_Bps * dt
+        if arrivals == 0.0 and self._v <= _EPS_BYTES:
+            tokens = self._tokens + generated
+            self._tokens = tokens if tokens < self.burst_bytes else float(
+                self.burst_bytes
+            )
+            return
+        # Token pool for this window: banked tokens plus everything
+        # generated during it.  Backlogged background consumes tokens
+        # the instant they appear, so the burst cap only applies to
+        # whatever is left at the end of the window.
+        pool = self._tokens + generated
+        real_bytes = self._queue.backlog_bytes
+        self.bg_bytes_offered += arrivals
+        if self._queue._queue:
+            servable = self._marks[0] - (self._bg_pos - self._v)
+            if servable > self._v:
+                servable = self._v
+            served = servable if servable < pool else pool
+            if served > 0.0:
+                self._v -= served
+                self.bg_bytes_served += served
+                pool -= served
+            headroom = self.limit_bytes - real_bytes - self._v
+            admitted = arrivals if arrivals < headroom else max(headroom, 0.0)
+            self._v += admitted
+            self._bg_pos += admitted
+            dropped = arrivals - admitted
+        else:
+            served = self._v if self._v < pool else pool
+            if served > 0.0:
+                self._v -= served
+                self.bg_bytes_served += served
+                pool -= served
+            direct = arrivals if arrivals < pool else pool
+            remaining = arrivals - direct
+            headroom = self.limit_bytes - self._v
+            admitted = remaining if remaining < headroom else max(headroom, 0.0)
+            self._v += admitted
+            self._bg_pos += direct + admitted
+            self.bg_bytes_served += direct
+            pool -= direct
+            dropped = remaining - admitted
+        if dropped > 0.0:
+            self.bg_bytes_dropped += dropped
+            if _obs.ENABLED:
+                _obs.SINK.inc("netsim.fluid.virtual_drop_bytes", dropped)
+        self._tokens = pool if pool < self.burst_bytes else float(self.burst_bytes)
+
+    def enqueue(self, packet, now):
+        self._advance(now)
+        if (
+            self._queue.backlog_bytes + self._v + packet.size
+            > self.limit_bytes
+        ):
+            # Count through the inner queue so the ``drops`` property
+            # and the harvested ``netsim.tbf.drops_total`` stay one
+            # accounting path, exactly as in the packet-mode TBF.
+            self._queue.drops += 1
+            if _obs.ENABLED:
+                _obs.SINK.inc("netsim.queue.drops")
+                _obs.SINK.observe(
+                    "netsim.queue.occupancy_at_drop_bytes",
+                    self._queue.backlog_bytes + self._v,
+                )
+                _obs.SINK.inc("netsim.tbf.drops")
+            return False
+        accepted = self._queue.enqueue(packet, now)
+        if accepted:
+            self._marks.append(self._bg_pos)
+        return accepted
+
+    def dequeue(self, now):
+        self._advance(now)
+        head = self._queue.peek()
+        if head is None:
+            return None, None
+        size = head.size
+        ahead = self._marks[0] - (self._bg_pos - self._v)
+        if ahead < 0.0:
+            ahead = 0.0
+        tokens = self._tokens
+        if ahead <= _EPS_BYTES and tokens + 1e-9 >= size:
+            self._tokens = tokens - size if tokens > size else 0.0
+            self._marks.popleft()
+            return self._queue.dequeue(now)
+        self.fluid_deferrals += 1
+        if _obs.ENABLED:
+            _obs.SINK.inc("netsim.tbf.deferrals")
+            _obs.SINK.inc("netsim.fluid.deferrals")
+            _obs.SINK.observe("netsim.tbf.token_debt_bytes", ahead + size - tokens)
+            _obs.SINK.observe(
+                "netsim.tbf.occupancy_at_deferral_bytes",
+                self._queue.backlog_bytes + self._v,
+            )
+        # The head waits for the background ahead of it plus its own
+        # tokens; later background arrivals queue behind it, so the
+        # wake never recedes.
+        need = ahead + size - tokens
+        return None, now + need * 8.0 / self.rate_bps + _WAKE_GUARD
+
+
+class FluidDualClassQdisc(DualClassQdisc):
+    """Classifier + fluid FIFO + fluid TBF + round-robin scheduler.
+
+    The marked fluid share competes inside the token bucket; the
+    unmarked share competes for the FIFO class's serialization.  The
+    round-robin scheduler itself is unchanged -- both classes already
+    speak the ``(packet | None, wake | None)`` dequeue protocol.
+    """
+
+    __slots__ = ()
+
+    def set_service_rate(self, bps):
+        self.fifo.set_service_rate(bps)
+
+    def set_source_rate(self, now, source, marked_bps, unmarked_bps, n_flows=1):
+        self.tbf.set_fluid_rate(now, source, marked_bps)
+        self.fifo.set_source_rate(now, source, 0.0, unmarked_bps)
+
+    def fluid_stats(self):
+        return _merge_stats(self.tbf.fluid_stats(), self.fifo.fluid_stats())
+
+
+class FluidPerFlowQdisc:
+    """Per-flow limiter with a virtual background load term (Section 7).
+
+    Marked background traverses its *own* per-flow buckets, never the
+    foreground's, so its only effect on the foreground is link
+    serialization of whatever the per-flow policers admit.  The
+    admitted marked rate is ``min(rate, n_flows x per-flow rate)``
+    (the UDP aggregate is a single flow id -- one bucket); the policed
+    excess is booked as virtual drops.  Foreground packets still get
+    real per-flow token buckets, exactly as in packet mode.
+    """
+
+    __slots__ = (
+        "rate_bps",
+        "burst_bytes",
+        "limit_bytes",
+        "flow_key",
+        "fifo",
+        "_flows",
+        "_rr_order",
+        "_rr_index",
+        "_policed_rates",
+        "_policed_rate_Bps",
+        "_last_policed",
+        "bg_bytes_policed",
+    )
+
+    def __init__(
+        self,
+        rate_bps,
+        burst_bytes,
+        limit_bytes,
+        flow_key=None,
+        fifo_capacity=500_000,
+    ):
+        if rate_bps <= 0:
+            raise ValueError("per-flow rate must be positive")
+        self.rate_bps = rate_bps
+        self.burst_bytes = burst_bytes
+        self.limit_bytes = limit_bytes
+        self.flow_key = flow_key if flow_key is not None else _flow_id_key
+        self.fifo = FluidDropTailQueue(fifo_capacity)
+        self._flows = {}
+        self._rr_order = []
+        self._rr_index = 0
+        self._policed_rates = {}
+        self._policed_rate_Bps = 0.0
+        self._last_policed = 0.0
+        self.bg_bytes_policed = 0.0
+
+    def __len__(self):
+        return len(self.fifo) + sum(len(tbf) for tbf in self._flows.values())
+
+    @property
+    def drops(self):
+        return self.fifo.drops + sum(tbf.drops for tbf in self._flows.values())
+
+    @property
+    def n_flows(self):
+        return len(self._flows)
+
+    def set_service_rate(self, bps):
+        self.fifo.set_service_rate(bps)
+
+    def set_source_rate(self, now, source, marked_bps, unmarked_bps, n_flows=1):
+        """Marked fluid is per-flow policed before it loads the link."""
+        self._settle_policed(now)
+        admitted = min(marked_bps, max(n_flows, 1) * self.rate_bps)
+        policed = marked_bps - admitted
+        previous = self._policed_rates.get(source, 0.0)
+        if policed != previous:
+            self._policed_rates[source] = policed
+            self._policed_rate_Bps += (policed - previous) / 8.0
+            if self._policed_rate_Bps < 0.0:
+                self._policed_rate_Bps = 0.0
+        self.fifo.set_source_rate(now, source, admitted, unmarked_bps)
+
+    def _settle_policed(self, now):
+        dt = now - self._last_policed
+        if dt > 0.0:
+            settled = self._policed_rate_Bps * dt
+            self.bg_bytes_policed += settled
+            self._last_policed = now
+            if settled > 0.0 and _obs.ENABLED:
+                # Policer drops are virtual drops too; keep the live
+                # counter in lockstep with fluid_stats() bookkeeping.
+                _obs.SINK.inc("netsim.fluid.virtual_drop_bytes", settled)
+
+    def fluid_stats(self):
+        self._settle_policed(self.fifo._last_fluid)
+        stats = dict(self.fifo.fluid_stats())
+        stats["bg_bytes_offered"] += self.bg_bytes_policed
+        stats["bg_bytes_dropped"] += self.bg_bytes_policed
+        return stats
+
+    def _bucket_for(self, key):
+        bucket = self._flows.get(key)
+        if bucket is None:
+            from repro.netsim.token_bucket import TokenBucketFilter
+
+            bucket = TokenBucketFilter(
+                self.rate_bps, self.burst_bytes, self.limit_bytes
+            )
+            self._flows[key] = bucket
+            self._rr_order.append(key)
+        return bucket
+
+    def enqueue(self, packet, now):
+        if packet.dscp != 1:
+            return self.fifo.enqueue(packet, now)
+        return self._bucket_for(self.flow_key(packet)).enqueue(packet, now)
+
+    def dequeue(self, now):
+        queues = [self.fifo] + [self._flows[k] for k in self._rr_order]
+        n = len(queues)
+        earliest_wake = None
+        for offset in range(n):
+            queue = queues[(self._rr_index + offset) % n]
+            packet, wake = queue.dequeue(now)
+            if packet is not None:
+                self._rr_index = (self._rr_index + offset + 1) % n
+                return packet, None
+            if wake is not None and (earliest_wake is None or wake < earliest_wake):
+                earliest_wake = wake
+        return None, earliest_wake
+
+
+def _flow_id_key(packet):
+    return packet.flow_id
+
+
+def _merge_stats(*parts):
+    merged = {
+        "bg_bytes_offered": 0.0,
+        "bg_bytes_served": 0.0,
+        "bg_bytes_dropped": 0.0,
+        "virtual_backlog_bytes": 0.0,
+        "fluid_deferrals": 0,
+    }
+    for part in parts:
+        for key in merged:
+            merged[key] += part[key]
+    return merged
+
+
+def make_fluid_rate_limiter(
+    rate_bps, rtt_s, queue_factor=0.5, fifo_capacity=500_000
+):
+    """Fluid-aware version of ``make_rate_limiter`` (same sizing rules)."""
+    burst = max(int(rate_bps * rtt_s / 8.0), 3000)
+    limit = max(int(queue_factor * burst), 1600)
+    tbf = FluidTokenBucketFilter(rate_bps, burst, limit)
+    return FluidDualClassQdisc(
+        tbf, FluidDropTailQueue(fifo_capacity), _dscp_classifier
+    )
+
+
+def make_fluid_per_flow_limiter(
+    rate_bps, rtt_s, queue_factor=0.5, fifo_capacity=500_000
+):
+    """Fluid-aware version of ``make_per_flow_limiter``."""
+    burst = max(int(rate_bps * rtt_s / 8.0), 3000)
+    limit = max(int(queue_factor * burst), 1600)
+    return FluidPerFlowQdisc(rate_bps, burst, limit, fifo_capacity=fifo_capacity)
+
+
+# -- fluid background sources ---------------------------------------
+
+
+class _FluidSource:
+    """Shared hop plumbing for fluid background generators.
+
+    A source pushes its per-class rates to every qdisc along its link
+    sequence; the rate entering hop ``k+1`` is clipped at hop ``k``'s
+    bandwidth (a link cannot emit faster than it serializes).  Pushes
+    happen only at rate-change ticks, so the event cost of a fluid
+    source is a handful of events per second regardless of its rate.
+    """
+
+    def __init__(self, sim, links, stop_at, flow_id):
+        self.sim = sim
+        self.stop_at = stop_at
+        self.flow_id = flow_id
+        self._hops = [(link.qdisc, link.bandwidth_bps) for link in links]
+        self.bytes_offered = 0.0
+        self._offer_rate_Bps = 0.0
+        self._offer_mark = sim.now
+
+    def _push(self, marked_bps, unmarked_bps, n_flows=1):
+        now = self.sim.now
+        self.bytes_offered += self._offer_rate_Bps * (now - self._offer_mark)
+        self._offer_mark = now
+        self._offer_rate_Bps = (marked_bps + unmarked_bps) / 8.0
+        rate_m, rate_u = marked_bps, unmarked_bps
+        for qdisc, bandwidth in self._hops:
+            qdisc.set_source_rate(now, self, rate_m, rate_u, n_flows)
+            total = rate_m + rate_u
+            if total > bandwidth:
+                scale = bandwidth / total
+                rate_m *= scale
+                rate_u *= scale
+        if _obs.ENABLED:
+            _obs.SINK.inc("netsim.fluid.rate_segments")
+
+    def _stopped(self):
+        return self.stop_at is not None and self.sim.now >= self.stop_at
+
+
+class FluidPoissonBackground(_FluidSource):
+    """Fluid twin of :class:`~repro.netsim.background.ModulatedPoissonBackground`.
+
+    The log-rate follows the *same* multi-timescale AR(1) process with
+    the same per-tick ``rng.normal`` draws, so the rate trajectory is
+    deterministic per seed; only the per-packet draws (exponential
+    gaps, size mixture, dscp Bernoulli) disappear.  The dscp split
+    becomes the deterministic mean-rate split.
+
+    A perfectly smooth fluid would *understate* loss variability: the
+    Poisson packet process carries shot noise -- the packet count in a
+    window of ``k`` expected packets has relative variance ``1/k`` --
+    and that sub-second burstiness is what spreads the bottleneck's
+    drops across measurement intervals instead of concentrating them
+    into deterministic saturation phases.  The fluid restores it with a
+    seeded *dither*: every ``dither_period`` the pushed rate is the
+    AR(1) rate times a ``Gamma(k, 1/k)`` factor (mean 1, variance
+    ``1/k``), matching the Poisson window-count statistics.
+    """
+
+    def __init__(
+        self,
+        sim,
+        rng,
+        links,
+        mean_rate_bps,
+        dscp1_fraction=0.5,
+        modulation=None,
+        start_at=0.0,
+        stop_at=None,
+        flow_id="bg-udp",
+        dither_period=0.05,
+    ):
+        if mean_rate_bps <= 0:
+            raise ValueError("background rate must be positive")
+        if not 0.0 <= dscp1_fraction <= 1.0:
+            raise ValueError("dscp1_fraction must be in [0, 1]")
+        super().__init__(sim, links, stop_at, flow_id)
+        self.rng = rng
+        self.mean_rate_bps = mean_rate_bps
+        self.dscp1_fraction = dscp1_fraction
+        self.dither_period = dither_period
+        sizes, probs = zip(*PACKET_SIZE_MIX)
+        self._mean_size = float(
+            sum(s * p for s, p in zip(sizes, probs)) / sum(probs)
+        )
+        self._dither = 1.0
+        if modulation is None:
+            modulation = DEFAULT_MODULATION
+        self._components = [
+            _Ar1Component(period, sigma, rho, rng)
+            for period, sigma, rho in modulation
+        ]
+        self._total_variance = sum(c.sigma**2 for c in self._components)
+        for component in self._components:
+            sim.schedule_at(start_at, self._remodulate, component)
+        if dither_period and dither_period > 0.0:
+            sim.schedule_at(start_at, self._dither_tick)
+        else:
+            sim.schedule_at(start_at, self._emit)
+        if stop_at is not None:
+            sim.schedule_at(stop_at, self._halt)
+
+    def current_rate_bps(self):
+        log_x = sum(c.state for c in self._components)
+        return self.mean_rate_bps * float(
+            np.exp(log_x - self._total_variance / 2.0)
+        )
+
+    def _emit(self):
+        rate = self.current_rate_bps() * self._dither
+        marked = rate * self.dscp1_fraction
+        self._push(marked, rate - marked)
+
+    def _remodulate(self, component):
+        if self._stopped():
+            return
+        component.step(self.rng)
+        self._emit()
+        self.sim.schedule(component.period, self._remodulate, component)
+
+    def _dither_tick(self):
+        if self._stopped():
+            return
+        # Expected packets this window under the current AR(1) rate.
+        k = (
+            self.current_rate_bps()
+            * self.dither_period
+            / (8.0 * self._mean_size)
+        )
+        if k > 1e-9:
+            self._dither = float(self.rng.gamma(k)) / k
+        else:
+            self._dither = 1.0
+        self._emit()
+        self.sim.schedule(self.dither_period, self._dither_tick)
+
+    def _halt(self):
+        self._dither = 0.0
+        self._push(0.0, 0.0)
+
+
+class FluidTcpBackground(_FluidSource):
+    """Fluid twin of :class:`~repro.netsim.background.TcpBackgroundPool`.
+
+    Long-lived flows are application-paced, so their fluid rate is the
+    paced rate (plus wire overhead).  Short flows keep the Poisson
+    arrival and Pareto size draws and become rate *pulses*: a flow of
+    ``size`` bytes at RTT ``rtt`` transmits for a slow-start-aware
+    duration and its effective rate is ``size / duration``, preserving
+    the heavy-tailed burst structure that makes the background trend.
+    Per-flow dscp marking keeps the same Bernoulli draws; a flow's whole
+    rate goes to the class its draw chose.
+    """
+
+    def __init__(
+        self,
+        sim,
+        rng,
+        links,
+        n_longlived=2,
+        longlived_rate_bps=1.5e6,
+        short_flow_rate=1.0,
+        short_flow_min_bytes=30_000,
+        dscp1_fraction=0.5,
+        rtt_range=(0.02, 0.08),
+        start_at=0.0,
+        stop_at=None,
+        flow_prefix="bg-tcp",
+    ):
+        super().__init__(sim, links, stop_at, flow_prefix)
+        self.rng = rng
+        self.short_flow_rate = short_flow_rate
+        self.short_flow_min_bytes = short_flow_min_bytes
+        self.dscp1_fraction = dscp1_fraction
+        self.rtt_range = rtt_range
+        self._marked_bps = 0.0
+        self._unmarked_bps = 0.0
+        self._active_flows = 0
+        self.flows_spawned = 0
+        for _ in range(n_longlived):
+            # Same draw order as TcpBackgroundPool._spawn: dscp, then RTT.
+            dscp = 1 if rng.random() < dscp1_fraction else 0
+            rng.uniform(*rtt_range)
+            rate = longlived_rate_bps * TCP_WIRE_OVERHEAD
+            if dscp == 1:
+                self._marked_bps += rate
+            else:
+                self._unmarked_bps += rate
+            self._active_flows += 1
+            self.flows_spawned += 1
+        sim.schedule_at(start_at, self._emit)
+        if short_flow_rate > 0:
+            sim.schedule_at(
+                start_at + rng.exponential(1.0 / short_flow_rate),
+                self._spawn_short,
+            )
+        if stop_at is not None:
+            sim.schedule_at(stop_at, self._halt)
+
+    def _emit(self):
+        self._push(self._marked_bps, self._unmarked_bps, self._active_flows)
+
+    def _spawn_short(self):
+        if self._stopped():
+            return
+        rng = self.rng
+        # Pareto(shape=1.2) sizes, then dscp, then RTT -- the same draw
+        # sequence as TcpBackgroundPool._spawn_short/_spawn.
+        size = int(self.short_flow_min_bytes * (1.0 + rng.pareto(1.2)))
+        dscp = 1 if rng.random() < self.dscp1_fraction else 0
+        rtt = float(rng.uniform(*self.rtt_range))
+        rate, duration = short_flow_pulse(size, rtt)
+        self.flows_spawned += 1
+        self._active_flows += 1
+        if dscp == 1:
+            self._marked_bps += rate
+        else:
+            self._unmarked_bps += rate
+        self._emit()
+        self.sim.schedule(duration, self._end_pulse, rate, dscp)
+        self.sim.schedule(
+            rng.exponential(1.0 / self.short_flow_rate), self._spawn_short
+        )
+
+    def _end_pulse(self, rate, dscp):
+        self._active_flows -= 1
+        if dscp == 1:
+            self._marked_bps = max(0.0, self._marked_bps - rate)
+        else:
+            self._unmarked_bps = max(0.0, self._unmarked_bps - rate)
+        self._emit()
+
+    def _halt(self):
+        self._marked_bps = 0.0
+        self._unmarked_bps = 0.0
+        self._active_flows = 0
+        self._emit()
+
+
+def short_flow_pulse(size_bytes, rtt_s, peak_bps=SHORT_FLOW_PEAK_BPS):
+    """Effective (rate_bps, duration_s) of one short TCP flow.
+
+    Completion time is the larger of the slow-start round count
+    (``log2`` of the segment count, one round per RTT) and the
+    bandwidth-limited transfer at the flow's peak fair-share rate; the
+    effective rate spreads the flow's wire bytes over that duration.
+    Deterministic -- no RNG draws beyond the caller's size/rtt.
+    """
+    wire_bytes = size_bytes * TCP_WIRE_OVERHEAD
+    segments = max(size_bytes / _SHORT_FLOW_MSS, 1.0)
+    slowstart_s = (math.log2(segments + 1.0) + 1.0) * rtt_s
+    capacity_s = wire_bytes * 8.0 / peak_bps
+    duration = max(slowstart_s, capacity_s, 1e-3)
+    return wire_bytes * 8.0 / duration, duration
+
+
+def harvest_fluid(sink, topology):
+    """Record the ``netsim.fluid.*`` aggregates of a finished run.
+
+    Double-entry bookkeeping mirror of the live counters: the harvested
+    ``netsim.fluid.bg_bytes_dropped_total`` must equal the live
+    ``netsim.fluid.virtual_drop_bytes`` counter, and conservation
+    (offered == served + dropped + backlog) must hold exactly.
+    """
+    totals = _merge_stats()
+    for link in [topology.link_c, *topology.noncommon_links]:
+        stats = getattr(link.qdisc, "fluid_stats", None)
+        if stats is None:
+            continue
+        part = stats()
+        for key in totals:
+            totals[key] += part[key]
+    sink.inc("netsim.fluid.bg_bytes_offered_total", totals["bg_bytes_offered"])
+    sink.inc("netsim.fluid.bg_bytes_served_total", totals["bg_bytes_served"])
+    sink.inc("netsim.fluid.bg_bytes_dropped_total", totals["bg_bytes_dropped"])
+    sink.inc("netsim.fluid.deferrals_total", totals["fluid_deferrals"])
+    sink.observe(
+        "netsim.fluid.final_virtual_backlog_bytes",
+        totals["virtual_backlog_bytes"],
+    )

@@ -36,6 +36,11 @@ class Link:
         self.bandwidth_bps = bandwidth_bps
         self.delay_s = delay_s
         self.qdisc = qdisc if qdisc is not None else DropTailQueue(500_000)
+        # Fluid-fidelity qdiscs share the link's serialization capacity
+        # with a virtual background aggregate; tell them the rate once.
+        set_rate = getattr(self.qdisc, "set_service_rate", None)
+        if set_rate is not None:
+            set_rate(bandwidth_bps)
         self._busy = False
         self._wake_handle = None
         # Statistics.  repro.obs.harvest duck-types against these names

@@ -13,6 +13,11 @@ scenario of Table 5).
 
 from dataclasses import dataclass, field
 
+from repro.netsim.fluid import (
+    FluidDropTailQueue,
+    make_fluid_per_flow_limiter,
+    make_fluid_rate_limiter,
+)
 from repro.netsim.link import Link
 from repro.netsim.path import DirectPath, Path
 from repro.netsim.per_flow import make_per_flow_limiter
@@ -41,10 +46,16 @@ class TopologyConfig:
     queue_factor: float = 0.5
     queue_capacity_bytes: int = 400_000
     extra_server_rtts: tuple = field(default_factory=tuple)
+    #: ``"packet"`` builds the exact per-packet qdiscs; ``"hybrid"``
+    #: builds their fluid twins so background load can arrive as a rate
+    #: process (see :mod:`repro.netsim.fluid`).
+    fidelity: str = "packet"
 
     def __post_init__(self):
         if self.limiter not in (None, "common", "noncommon", "perflow"):
             raise ValueError(f"unknown limiter placement {self.limiter!r}")
+        if self.fidelity not in ("packet", "hybrid"):
+            raise ValueError(f"unknown fidelity {self.fidelity!r}")
         for name in ("rtt_1", "rtt_2"):
             rtt = getattr(self, name)
             if rtt <= 2 * self.common_delay_s:
@@ -58,23 +69,30 @@ class FigureOneTopology:
         self.sim = sim
         self.config = config
 
+        hybrid = config.fidelity == "hybrid"
+        rate_limiter = make_fluid_rate_limiter if hybrid else make_rate_limiter
+        per_flow_limiter = (
+            make_fluid_per_flow_limiter if hybrid else make_per_flow_limiter
+        )
+        plain_queue = FluidDropTailQueue if hybrid else DropTailQueue
+
         mean_rtt = (config.rtt_1 + config.rtt_2) / 2.0
         if config.limiter == "common":
-            common_qdisc = make_rate_limiter(
+            common_qdisc = rate_limiter(
                 config.limiter_rate_bps,
                 mean_rtt,
                 config.queue_factor,
                 fifo_capacity=config.queue_capacity_bytes,
             )
         elif config.limiter == "perflow":
-            common_qdisc = make_per_flow_limiter(
+            common_qdisc = per_flow_limiter(
                 config.limiter_rate_bps,
                 mean_rtt,
                 config.queue_factor,
                 fifo_capacity=config.queue_capacity_bytes,
             )
         else:
-            common_qdisc = DropTailQueue(config.queue_capacity_bytes)
+            common_qdisc = plain_queue(config.queue_capacity_bytes)
         self.link_c = Link(
             sim, "lc", config.common_bandwidth_bps, config.common_delay_s, common_qdisc
         )
@@ -84,14 +102,14 @@ class FigureOneTopology:
         rtts = [config.rtt_1, config.rtt_2] + list(config.extra_server_rtts)
         for i, rtt in enumerate(rtts, start=1):
             if config.limiter == "noncommon":
-                qdisc = make_rate_limiter(
+                qdisc = rate_limiter(
                     config.limiter_rate_bps,
                     rtt,
                     config.queue_factor,
                     fifo_capacity=config.queue_capacity_bytes,
                 )
             else:
-                qdisc = DropTailQueue(config.queue_capacity_bytes)
+                qdisc = plain_queue(config.queue_capacity_bytes)
             forward_delay = max(rtt / 2.0 - config.common_delay_s, 1e-4)
             link = Link(
                 sim,

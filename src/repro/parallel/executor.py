@@ -419,11 +419,13 @@ def run_detection_sweep(
     ).results
 
 
-def _wild_cell(cell, sanity_check):
+def _wild_cell(cell, sanity_check, fidelity="packet"):
     from repro.experiments.wild import run_wild_test
 
     isp_name, app, seed = cell
-    report = run_wild_test(isp_name, app=app, seed=seed, sanity_check=sanity_check)
+    report = run_wild_test(
+        isp_name, app=app, seed=seed, sanity_check=sanity_check, fidelity=fidelity
+    )
     return {
         "isp": isp_name,
         "app": app,
@@ -440,6 +442,7 @@ def _wild_sweep(
     seeds,
     jobs=None,
     sanity_check=False,
+    fidelity="packet",
     store=None,
     no_cache=False,
     on_result=None,
@@ -455,7 +458,7 @@ def _wild_sweep(
     cells = [
         (isp, app, seed) for isp in isp_names for app in apps for seed in seeds
     ]
-    task = functools.partial(_wild_cell, sanity_check=sanity_check)
+    task = functools.partial(_wild_cell, sanity_check=sanity_check, fidelity=fidelity)
     executor = SweepExecutor(
         jobs,
         cell_timeout=cell_timeout,
@@ -473,6 +476,7 @@ def _wild_sweep(
             app,
             seed,
             sanity_check=sanity_check,
+            fidelity=fidelity,
             fingerprint=store.fingerprint,
             schema_version=store.schema_version,
         )

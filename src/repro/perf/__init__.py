@@ -1,20 +1,33 @@
 """Performance regression harness.
 
 ``python -m repro.perf`` times the canonical workloads every PR is
-measured against -- a single replay, a simultaneous replay, and a
-3x3x3 detection sweep run serially and in parallel -- then writes
+measured against -- a single replay, a simultaneous replay, a 3x3x3
+detection sweep run serially and in parallel, and the hybrid-fidelity
+workloads (``fluid_replay``, ``fluid_validation``) -- then writes
 ``BENCH_netsim.json`` with wall times and simulator events/sec, and
-*asserts* that the serial and parallel sweeps produced byte-identical
-results (timing never fails the harness; a determinism violation does).
+*asserts* determinism: serial and parallel sweeps byte-identical,
+metrics collection record-transparent, and hybrid fidelity reproducing
+every packet-mode verdict on the pinned gate grid (timing never fails
+the harness; a determinism violation does).
 
-See DESIGN.md ("Performance architecture") for how to read the output.
+See DESIGN.md ("Performance architecture" and "Hybrid fidelity model")
+for how to read the output.
 """
 
 from repro.perf.bench import (
     SchemaMismatchError,
+    bench_fluid_validation,
     compare_benchmarks,
+    fidelity_gate_configs,
     main,
     run_benchmarks,
 )
 
-__all__ = ["SchemaMismatchError", "compare_benchmarks", "main", "run_benchmarks"]
+__all__ = [
+    "SchemaMismatchError",
+    "bench_fluid_validation",
+    "compare_benchmarks",
+    "fidelity_gate_configs",
+    "main",
+    "run_benchmarks",
+]

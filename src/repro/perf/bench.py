@@ -13,7 +13,16 @@ The workloads cover the hot paths end to end:
 - ``metrics_overhead``: the same cells with :mod:`repro.obs` disabled
   vs enabled -- the disabled path must stay free (the ~2% guard lives
   in ``tests/perf``) and enabling metrics must not change a record
-  byte.
+  byte;
+- ``fluid_replay``: one detection cell at ``fidelity="packet"`` vs
+  ``fidelity="hybrid"`` -- the raw event-count and wall-time gain of
+  the fluid background model (:mod:`repro.netsim.fluid`);
+- ``fluid_validation``: the pinned fidelity-gate grid (cells whose
+  packet-mode verdicts are seed-stable, so a packet/hybrid verdict
+  flip is a model error, not detector noise) plus two wild-ISP
+  localization cells.  Hybrid must reproduce every detection and
+  localization verdict exactly while simulating >= 5x fewer events;
+  any flip folds into ``determinism_ok`` and fails CI.
 
 Sweeps run through :func:`repro.api.run_sweep` -- the same surface the
 CLI uses, so the benchmark measures what users run.
@@ -44,9 +53,24 @@ SWEEP_FACTORS = (1.5, 1.3, 2.0)
 SWEEP_QUEUES = (0.5, 0.25, 1.0)
 SWEEP_SEEDS = range(3)
 
+#: The pinned fidelity-gate grid.  Verdicts at shorter durations flip
+#: seed-to-seed in *packet* mode (Algorithm 1 runs out of usable loss
+#: intervals), as do the 0.95/1.05 knife-edge congestion factors --
+#: such cells cannot gate a fidelity comparison.  These axes were
+#: verified verdict-stable in packet mode, so any packet/hybrid
+#: disagreement on them is a fluid-model error.
+FIDELITY_GATE_DURATION = 60.0
+FIDELITY_GATE_RTTS = (0.015, 0.035, 0.060)
+FIDELITY_GATE_LIMITERS = ("common", "noncommon")
+FIDELITY_GATE_CONGESTION = (0.2, 1.15)
+FIDELITY_GATE_SEEDS = (1, 2)
+#: Wild-ISP localization cells gated alongside the detection grid
+#: (ISP5 is the delayed-trigger pathological case of Section 5).
+FIDELITY_GATE_WILD = (("ISP1", 0), ("ISP5", 0))
+
 #: Bump whenever the BENCH_netsim.json shape or any workload definition
 #: changes; :func:`compare_benchmarks` refuses to diff across versions.
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 
 class SchemaMismatchError(RuntimeError):
@@ -217,6 +241,140 @@ def bench_metrics_overhead(duration, repeats=2):
     }
 
 
+def fidelity_gate_configs(duration=FIDELITY_GATE_DURATION):
+    """The pinned verdict-invariance grid (deduplicated, in order)."""
+    configs = []
+    for rtt_2 in FIDELITY_GATE_RTTS:
+        for limiter in FIDELITY_GATE_LIMITERS:
+            for seed in FIDELITY_GATE_SEEDS:
+                configs.append(
+                    ScenarioConfig(
+                        app="netflix",
+                        limiter=limiter,
+                        rtt_2=rtt_2,
+                        duration=duration,
+                        seed=seed,
+                    )
+                )
+    for factor in FIDELITY_GATE_CONGESTION:
+        for seed in FIDELITY_GATE_SEEDS:
+            configs.append(
+                ScenarioConfig(
+                    app="netflix",
+                    congestion_factor=factor,
+                    duration=duration,
+                    seed=seed,
+                )
+            )
+    # The default congestion factor coincides with an rtt-grid cell;
+    # keep each distinct config once.
+    seen, unique = set(), []
+    for config in configs:
+        if config not in seen:
+            seen.add(config)
+            unique.append(config)
+    return unique
+
+
+def bench_fluid_replay(duration):
+    """One detection cell, packet vs hybrid fidelity, serially timed."""
+    config = ScenarioConfig(app="netflix", duration=duration, seed=0)
+    _, packet_wall, packet_events = _timed(lambda: run_detection_experiment(config))
+    _, hybrid_wall, hybrid_events = _timed(
+        lambda: run_detection_experiment(config.with_(fidelity="hybrid"))
+    )
+    return {
+        "packet_wall_s": packet_wall,
+        "hybrid_wall_s": hybrid_wall,
+        "packet_events": packet_events,
+        "hybrid_events": hybrid_events,
+        "events_reduction": (
+            packet_events / hybrid_events if hybrid_events > 0 else 0.0
+        ),
+        "wall_speedup": packet_wall / hybrid_wall if hybrid_wall > 0 else 0.0,
+    }
+
+
+def _wild_verdict(isp, seed, fidelity):
+    from repro.experiments.wild import run_wild_test
+
+    report = run_wild_test(isp, seed=seed, fidelity=fidelity)
+    return {"localized": report.localized, "outcome": report.outcome.value}
+
+
+def bench_fluid_validation(duration=FIDELITY_GATE_DURATION, cells=None):
+    """The hybrid/packet equivalence gate.
+
+    Runs the pinned grid serially in both fidelities (serial so
+    ``events_processed_total`` counts in-process) and compares detector
+    verdicts cell by cell, then the wild localization cells.  Also
+    reruns the first hybrid cell to pin hybrid determinism
+    byte-for-byte.  ``cells`` truncates the detection grid for
+    ``--quick`` runs; the verdict contract is identical.
+    """
+    configs = fidelity_gate_configs(duration)
+    if cells is not None:
+        configs = configs[: max(1, int(cells))]
+    packet, packet_wall, packet_events = _timed(
+        lambda: run_sweep(
+            SweepRequest.detection(configs, jobs=1, fidelity="packet")
+        ).results
+    )
+    hybrid, hybrid_wall, hybrid_events = _timed(
+        lambda: run_sweep(
+            SweepRequest.detection(configs, jobs=1, fidelity="hybrid")
+        ).results
+    )
+    flips = []
+    for config, p, h in zip(configs, packet, hybrid):
+        if p.verdicts != h.verdicts:
+            flips.append(
+                {
+                    "limiter": config.limiter,
+                    "rtt_2": config.rtt_2,
+                    "congestion_factor": config.congestion_factor,
+                    "seed": config.seed,
+                    "packet": p.verdicts,
+                    "hybrid": h.verdicts,
+                }
+            )
+    wild_flips = []
+    wild_walls = [0.0, 0.0]
+    for isp, seed in FIDELITY_GATE_WILD:
+        pv, wall, _ = _timed(lambda: _wild_verdict(isp, seed, "packet"))
+        wild_walls[0] += wall
+        hv, wall, _ = _timed(lambda: _wild_verdict(isp, seed, "hybrid"))
+        wild_walls[1] += wall
+        if pv != hv:
+            wild_flips.append(
+                {"isp": isp, "seed": seed, "packet": pv, "hybrid": hv}
+            )
+    repeat = run_sweep(
+        SweepRequest.detection(configs[:1], jobs=1, fidelity="hybrid")
+    ).results
+    hybrid_deterministic = canonical_record(repeat[0]) == canonical_record(
+        hybrid[0]
+    )
+    return {
+        "cells": len(configs),
+        "wild_cells": len(FIDELITY_GATE_WILD),
+        "packet_wall_s": packet_wall,
+        "hybrid_wall_s": hybrid_wall,
+        "wild_packet_wall_s": wild_walls[0],
+        "wild_hybrid_wall_s": wild_walls[1],
+        "packet_events": packet_events,
+        "hybrid_events": hybrid_events,
+        "events_reduction": (
+            packet_events / hybrid_events if hybrid_events > 0 else 0.0
+        ),
+        "wall_speedup": packet_wall / hybrid_wall if hybrid_wall > 0 else 0.0,
+        "verdict_flips": flips,
+        "wild_verdict_flips": wild_flips,
+        "verdicts_identical": not flips and not wild_flips,
+        "hybrid_deterministic": hybrid_deterministic,
+    }
+
+
 def bench_cell_repeat(duration):
     """One cell run twice: the repeat measures the trace-memo fast path."""
     config = ScenarioConfig(app="zoom", duration=duration, seed=0)
@@ -225,15 +383,22 @@ def bench_cell_repeat(duration):
     return {"first_wall_s": first, "repeat_wall_s": second}
 
 
-def run_benchmarks(quick=False, jobs=None, store_root=None):
+def run_benchmarks(quick=False, jobs=None, store_root=None, only=None):
     """Run every workload; returns the ``BENCH_netsim.json`` payload.
 
     ``store_root`` adds the experiment-store cold/warm workloads (see
-    :func:`bench_detection_sweep`).
+    :func:`bench_detection_sweep`).  ``only`` restricts the run to the
+    named workloads (the CI fidelity gate runs just
+    ``fluid_validation``); ``determinism_ok`` then folds in only the
+    checks that actually ran.
     """
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     replay_duration = 8.0 if quick else 30.0
     sweep_duration = 5.0 if quick else 15.0
+    # Gate cells must keep the paper's 60 s duration -- shorter runs
+    # make packet-mode verdicts themselves seed-unstable -- so --quick
+    # trims the grid, not the cell length.
+    gate_cells = 4 if quick else None
     store = None
     if store_root is not None:
         from repro.store import ExperimentStore
@@ -255,27 +420,51 @@ def run_benchmarks(quick=False, jobs=None, store_root=None):
         },
         "workloads": {},
     }
+    specs = {
+        "single_replay": lambda: dict(
+            bench_single_replay(replay_duration), duration_s=replay_duration
+        ),
+        "simultaneous_replay": lambda: dict(
+            bench_simultaneous_replay(replay_duration), duration_s=replay_duration
+        ),
+        "cell_repeat": lambda: dict(
+            bench_cell_repeat(sweep_duration), duration_s=sweep_duration
+        ),
+        "detection_sweep": lambda: dict(
+            bench_detection_sweep(sweep_duration, jobs, store=store),
+            duration_s=sweep_duration,
+        ),
+        "metrics_overhead": lambda: dict(
+            bench_metrics_overhead(sweep_duration), duration_s=sweep_duration
+        ),
+        "fluid_replay": lambda: dict(
+            bench_fluid_replay(replay_duration), duration_s=replay_duration
+        ),
+        "fluid_validation": lambda: dict(
+            bench_fluid_validation(cells=gate_cells),
+            duration_s=FIDELITY_GATE_DURATION,
+        ),
+    }
+    if only:
+        unknown = sorted(set(only) - set(specs))
+        if unknown:
+            raise ValueError(
+                f"unknown workload(s) {unknown}; expected from {sorted(specs)}"
+            )
     workloads = results["workloads"]
-    workloads["single_replay"] = dict(
-        bench_single_replay(replay_duration), duration_s=replay_duration
-    )
-    workloads["simultaneous_replay"] = dict(
-        bench_simultaneous_replay(replay_duration), duration_s=replay_duration
-    )
-    workloads["cell_repeat"] = dict(
-        bench_cell_repeat(sweep_duration), duration_s=sweep_duration
-    )
-    workloads["detection_sweep"] = dict(
-        bench_detection_sweep(sweep_duration, jobs, store=store),
-        duration_s=sweep_duration,
-    )
-    workloads["metrics_overhead"] = dict(
-        bench_metrics_overhead(sweep_duration), duration_s=sweep_duration
-    )
-    results["determinism_ok"] = (
-        workloads["detection_sweep"]["identical"]
-        and workloads["metrics_overhead"]["records_identical"]
-    )
+    for name, build in specs.items():
+        if only and name not in only:
+            continue
+        workloads[name] = build()
+    checks = []
+    if "detection_sweep" in workloads:
+        checks.append(workloads["detection_sweep"]["identical"])
+    if "metrics_overhead" in workloads:
+        checks.append(workloads["metrics_overhead"]["records_identical"])
+    if "fluid_validation" in workloads:
+        gate = workloads["fluid_validation"]
+        checks.append(gate["verdicts_identical"] and gate["hybrid_deterministic"])
+    results["determinism_ok"] = all(checks)
     return results
 
 
@@ -355,32 +544,65 @@ def main(argv=None):
         help="print wall-time deltas against a previous run; refuses "
              "to diff across mismatched benchmark schemas",
     )
+    parser.add_argument(
+        "--only", default=None, metavar="NAME[,NAME...]",
+        help="run only the named workloads (e.g. fluid_validation for "
+             "the CI fidelity gate)",
+    )
+    parser.add_argument(
+        "--min-fluid-speedup", type=float, default=None, metavar="X",
+        help="fail (exit 1) unless the fluid_validation workload's "
+             "hybrid wall speedup is at least X",
+    )
     args = parser.parse_args(argv)
 
-    results = run_benchmarks(quick=args.quick, jobs=args.jobs, store_root=args.store)
+    only = None
+    if args.only:
+        only = tuple(name.strip() for name in args.only.split(",") if name.strip())
+    results = run_benchmarks(
+        quick=args.quick, jobs=args.jobs, store_root=args.store, only=only
+    )
     with open(args.output, "w") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
     workloads = results["workloads"]
-    print(f"single replay        : {workloads['single_replay']['wall_s']:.2f} s "
-          f"({workloads['single_replay']['events_per_sec']:,.0f} events/s)")
-    print(f"simultaneous replay  : {workloads['simultaneous_replay']['wall_s']:.2f} s "
-          f"({workloads['simultaneous_replay']['events_per_sec']:,.0f} events/s)")
-    sweep = workloads["detection_sweep"]
-    print(f"3x3x3 sweep (serial) : {sweep['serial_wall_s']:.2f} s "
-          f"({sweep['serial_events_per_sec']:,.0f} events/s)")
-    print(f"3x3x3 sweep (jobs={sweep['parallel_jobs']}): "
-          f"{sweep['parallel_wall_s']:.2f} s "
-          f"(speedup {sweep['speedup']:.2f}x)")
-    if "store_warm_wall_s" in sweep:
-        print(f"store cold / warm    : {sweep['store_cold_wall_s']:.2f} s / "
-              f"{sweep['store_warm_wall_s']:.2f} s "
-              f"({sweep['store_warm_events']} simulated events when warm)")
-    overhead = workloads["metrics_overhead"]
-    print(f"metrics off / on     : {overhead['disabled_wall_s']:.2f} s / "
-          f"{overhead['enabled_wall_s']:.2f} s "
-          f"({overhead['enabled_overhead']:+.1%} when enabled)")
+    if "single_replay" in workloads:
+        print(f"single replay        : {workloads['single_replay']['wall_s']:.2f} s "
+              f"({workloads['single_replay']['events_per_sec']:,.0f} events/s)")
+    if "simultaneous_replay" in workloads:
+        print(f"simultaneous replay  : {workloads['simultaneous_replay']['wall_s']:.2f} s "
+              f"({workloads['simultaneous_replay']['events_per_sec']:,.0f} events/s)")
+    if "detection_sweep" in workloads:
+        sweep = workloads["detection_sweep"]
+        print(f"3x3x3 sweep (serial) : {sweep['serial_wall_s']:.2f} s "
+              f"({sweep['serial_events_per_sec']:,.0f} events/s)")
+        print(f"3x3x3 sweep (jobs={sweep['parallel_jobs']}): "
+              f"{sweep['parallel_wall_s']:.2f} s "
+              f"(speedup {sweep['speedup']:.2f}x)")
+        if "store_warm_wall_s" in sweep:
+            print(f"store cold / warm    : {sweep['store_cold_wall_s']:.2f} s / "
+                  f"{sweep['store_warm_wall_s']:.2f} s "
+                  f"({sweep['store_warm_events']} simulated events when warm)")
+    if "metrics_overhead" in workloads:
+        overhead = workloads["metrics_overhead"]
+        print(f"metrics off / on     : {overhead['disabled_wall_s']:.2f} s / "
+              f"{overhead['enabled_wall_s']:.2f} s "
+              f"({overhead['enabled_overhead']:+.1%} when enabled)")
+    if "fluid_replay" in workloads:
+        fluid = workloads["fluid_replay"]
+        print(f"fluid replay         : {fluid['packet_wall_s']:.2f} s packet / "
+              f"{fluid['hybrid_wall_s']:.2f} s hybrid "
+              f"({fluid['events_reduction']:.1f}x fewer events)")
+    if "fluid_validation" in workloads:
+        gate = workloads["fluid_validation"]
+        print(f"fluid gate ({gate['cells']:>2} cells) : "
+              f"{gate['packet_wall_s']:.2f} s packet / "
+              f"{gate['hybrid_wall_s']:.2f} s hybrid "
+              f"({gate['events_reduction']:.1f}x fewer events, "
+              f"{gate['wall_speedup']:.1f}x faster, "
+              f"{len(gate['verdict_flips']) + len(gate['wild_verdict_flips'])}"
+              f" verdict flips)")
     print(f"determinism          : "
           f"{'ok' if results['determinism_ok'] else 'VIOLATED'}")
     print(f"wrote {args.output}")
@@ -404,7 +626,25 @@ def main(argv=None):
 
     if not results["determinism_ok"]:
         print(
-            "ERROR: serial and parallel sweep results differ", file=sys.stderr
+            "ERROR: determinism violated (serial/parallel mismatch, "
+            "metrics-altered records, or a packet/hybrid verdict flip)",
+            file=sys.stderr,
         )
         return 1
+    if args.min_fluid_speedup is not None:
+        gate = workloads.get("fluid_validation")
+        if gate is None:
+            print(
+                "ERROR: --min-fluid-speedup requires the fluid_validation "
+                "workload",
+                file=sys.stderr,
+            )
+            return 2
+        if gate["wall_speedup"] < args.min_fluid_speedup:
+            print(
+                f"ERROR: hybrid speedup {gate['wall_speedup']:.2f}x below "
+                f"required {args.min_fluid_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
     return 0

@@ -116,6 +116,7 @@ def wild_cache_key(
     app,
     seed,
     sanity_check=False,
+    fidelity="packet",
     fingerprint=None,
     schema_version=STORE_SCHEMA_VERSION,
 ):
@@ -127,6 +128,7 @@ def wild_cache_key(
             "app": app,
             "seed": int(seed),
             "sanity_check": bool(sanity_check),
+            "fidelity": fidelity,
             "fingerprint": fingerprint or code_fingerprint(),
             "schema_version": schema_version,
         }

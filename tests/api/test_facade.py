@@ -36,6 +36,30 @@ class TestSweepRequest:
         with pytest.raises(AttributeError):
             request.jobs = 4
 
+    def test_detection_fidelity_overrides_every_config(self):
+        request = SweepRequest.detection(_configs(), fidelity="hybrid")
+        assert all(
+            config.fidelity == "hybrid" for config in request.params["configs"]
+        )
+        # Without the knob, per-config fidelity is left alone.
+        mixed = _configs() + [_configs()[0].with_(fidelity="hybrid")]
+        request = SweepRequest.detection(mixed)
+        assert [c.fidelity for c in request.params["configs"]] == [
+            "packet",
+            "packet",
+            "hybrid",
+        ]
+
+    def test_wild_and_tdiff_carry_fidelity(self):
+        assert SweepRequest.wild().params["fidelity"] == "packet"
+        assert (
+            SweepRequest.wild(fidelity="hybrid").params["fidelity"] == "hybrid"
+        )
+        assert SweepRequest.tdiff().params["fidelity"] == "packet"
+        assert (
+            SweepRequest.tdiff(fidelity="hybrid").params["fidelity"] == "hybrid"
+        )
+
 
 class TestSweepResult:
     def test_len_and_iter_delegate_to_results(self):

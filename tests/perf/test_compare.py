@@ -1,9 +1,16 @@
 """BENCH_netsim.json versioning: comparable runs diff, mismatches refuse."""
 
+import json
+
 import pytest
 
-from repro.perf import SchemaMismatchError, compare_benchmarks
-from repro.perf.bench import BENCH_SCHEMA_VERSION
+from repro.perf import (
+    SchemaMismatchError,
+    compare_benchmarks,
+    fidelity_gate_configs,
+    run_benchmarks,
+)
+from repro.perf.bench import BENCH_SCHEMA_VERSION, FIDELITY_GATE_DURATION
 
 
 def _payload(schema_version=BENCH_SCHEMA_VERSION, quick=True, wall=2.0,
@@ -63,3 +70,40 @@ class TestCompareBenchmarks:
         report = compare_benchmarks(baseline, _payload())
         assert "single_replay.wall_s" not in report["deltas"]
         assert "detection_sweep.serial_wall_s" in report["deltas"]
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_is_current_schema_and_quick(self):
+        # CI's perf-smoke runs --quick --compare BENCH_netsim.json; a
+        # stale committed baseline would make every CI run refuse.
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[2] / "BENCH_netsim.json"
+        baseline = json.loads(path.read_text())
+        assert baseline["schema_version"] == BENCH_SCHEMA_VERSION
+        assert baseline["quick"] is True
+        assert baseline["determinism_ok"] is True
+        for name in ("fluid_replay", "fluid_validation"):
+            assert name in baseline["workloads"], name
+        gate = baseline["workloads"]["fluid_validation"]
+        assert gate["verdict_flips"] == []
+        assert gate["wild_verdict_flips"] == []
+        assert gate["hybrid_deterministic"] is True
+        assert gate["events_reduction"] >= 5.0
+
+
+class TestWorkloadSelection:
+    def test_unknown_only_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            run_benchmarks(quick=True, only=("bogus",))
+
+    def test_gate_grid_is_pinned(self):
+        configs = fidelity_gate_configs()
+        # The grid must stay at the paper's 60 s duration and keep the
+        # knife-edge congestion factors (0.95/1.05) out: packet-mode
+        # verdicts flip seed-to-seed there, so they cannot gate.
+        assert len(configs) == 14
+        assert len(set(configs)) == len(configs)
+        assert all(c.duration == FIDELITY_GATE_DURATION for c in configs)
+        assert all(c.congestion_factor in (0.2, 1.15) for c in configs)
+        assert all(c.fidelity == "packet" for c in configs)

@@ -31,6 +31,7 @@ FIELD_CHANGES = {
     "seed": 1,
     "overcount_rate": 0.01,
     "registration_jitter": 0.001,
+    "fidelity": "hybrid",
 }
 
 
@@ -96,6 +97,7 @@ class TestWildKey:
         assert wild_cache_key("ISP1", "zoom", 0) != base
         assert wild_cache_key("ISP1", "netflix", 1) != base
         assert wild_cache_key("ISP1", "netflix", 0, sanity_check=True) != base
+        assert wild_cache_key("ISP1", "netflix", 0, fidelity="hybrid") != base
 
 
 class TestCodeFingerprint:

@@ -40,6 +40,17 @@ class TestRoundTrip:
         )
         assert config_from_dict(config_to_dict(config)) == config
 
+    def test_hybrid_config_round_trip(self):
+        config = ScenarioConfig(app="netflix", fidelity="hybrid")
+        assert config_from_dict(config_to_dict(config)) == config
+
+    def test_pre_fidelity_record_dict_still_loads(self):
+        # Records persisted before the fidelity field existed carry no
+        # "fidelity" key; they must deserialize as packet-mode configs.
+        data = config_to_dict(ScenarioConfig(app="netflix"))
+        del data["fidelity"]
+        assert config_from_dict(data).fidelity == "packet"
+
     def test_record_round_trip_is_byte_identical(self):
         record = _record()
         loaded = record_from_dict(record_to_dict(record))

@@ -19,6 +19,16 @@ class TestParser:
         assert args.seeds == 3
         assert args.limiter == "noncommon"
 
+    def test_fidelity_defaults_to_packet(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.fidelity == "packet"
+        args = build_parser().parse_args(["sweep", "--fidelity", "hybrid"])
+        assert args.fidelity == "hybrid"
+
+    def test_rejects_unknown_fidelity(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--fidelity", "quantum"])
+
     def test_rejects_unknown_app(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["localize", "--app", "geocities"])
