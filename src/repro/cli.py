@@ -13,6 +13,7 @@ Examples::
     python -m repro.cli localize --app netflix --limiter common
     python -m repro.cli localize --app zoom --limiter perflow --merge-flows
     python -m repro.cli topology --isps 8 --clients 6
+    python -m repro.cli topology --ases 1000 --backend columnar --dynamics-events 2
     python -m repro.cli sweep --limiter noncommon --seeds 5 --jobs 4
     python -m repro.cli sweep --seeds 8 --store .repro-store --resume --json
     python -m repro.cli sweep --seeds 5 --metrics metrics.jsonl
@@ -126,21 +127,84 @@ def cmd_localize(args):
 def cmd_topology(args):
     from repro.mlab.annotations import AnnotationDatabase
     from repro.mlab.internet import SyntheticInternet
-    from repro.mlab.topology_construction import TopologyConstructor
+    from repro.mlab.tables import annotation_table, traceroute_table
+    from repro.mlab.topology_construction import (
+        TopologyConstructor,
+        build_topology_from_tables,
+    )
     from repro.mlab.traceroute import collect_month
 
     rng = np.random.default_rng(args.seed)
-    internet = SyntheticInternet(
-        rng, n_isps=args.isps, clients_per_isp=args.clients
-    )
-    tc = TopologyConstructor(AnnotationDatabase(internet))
-    records = collect_month(internet, rng)
+    if args.ases:
+        from repro.inet import PolicyInternet
+
+        internet = PolicyInternet(
+            seed=args.seed,
+            n_ases=args.ases,
+            n_client_isps=args.isps,
+            clients_per_isp=args.clients,
+        )
+        records = collect_month(
+            internet, rng, tests_per_client=len(internet.servers)
+        )
+    else:
+        internet = SyntheticInternet(
+            rng, n_isps=args.isps, clients_per_isp=args.clients
+        )
+        records = collect_month(internet, rng)
+    annotations = AnnotationDatabase(internet)
+    tc = TopologyConstructor(annotations)
     stats = tc.coverage(records)
-    database = tc.build(records)
+    if args.backend == "object":
+        database = tc.build(records)
+    else:
+        database = build_topology_from_tables(
+            traceroute_table(records, backend=args.backend),
+            annotation_table(annotations, backend=args.backend),
+        )
+    if args.ases:
+        print(f"AS graph              : {len(internet.graph.asns)} ASes, "
+              f"{internet.graph.n_edges} edges")
     print(f"traceroutes           : {len(records)}")
     print(f"complete fraction     : {stats['complete_fraction']:.0%}")
     print(f"suitable fraction     : {stats['suitable_fraction']:.0%}")
     print(f"topology-db entries   : {len(database)}")
+
+    if not args.ases:
+        return 0
+
+    from repro.inet import RouteDynamics, TopologyOracle, generate_schedule
+
+    oracle = TopologyOracle(internet)
+    score = oracle.score(database)
+    print(f"oracle precision      : {score['precision']:.3f}")
+    print(f"oracle recall         : {score['recall']:.3f}")
+
+    if not args.dynamics_events:
+        return 0
+
+    events = generate_schedule(
+        internet.graph,
+        args.seed + 1,
+        n_failures=args.dynamics_events,
+        n_flips=1,
+        targets=internet.isp_asns,
+    )
+    internet.attach_dynamics(RouteDynamics(events))
+    detected = healed = 0
+    for event in events:
+        internet.advance_to(event.time + 1e-6)
+        for entry, _client in oracle.stale_entries(database):
+            detected += 1
+            healed += bool(database.invalidate(entry))
+    horizon = max(e.time + e.convergence_s for e in events) + 1.0
+    internet.advance_to(horizon)
+    post = oracle.score(database)
+    print(f"dynamics events       : {internet.telemetry['events_applied']}")
+    print(f"path changes          : {internet.telemetry['path_changes']}")
+    print(f"stale entries healed  : {healed}/{detected}")
+    print(f"post-dynamics precision: {post['precision']:.3f}")
+    print(f"post-dynamics recall  : {post['recall']:.3f}")
     return 0
 
 
@@ -350,6 +414,22 @@ def build_parser():
     topology.add_argument("--isps", type=int, default=8)
     topology.add_argument("--clients", type=int, default=6)
     topology.add_argument("--seed", type=int, default=0)
+    topology.add_argument(
+        "--ases", type=int, default=None, metavar="N",
+        help="use the repro.inet policy-routed AS graph with N ASes "
+             "(default: the legacy hand-wired synthetic internet)",
+    )
+    topology.add_argument(
+        "--backend", default="object", choices=["object", "row", "columnar"],
+        help="TC pipeline: 'object' runs over records, 'row'/'columnar' "
+             "run the BigQuery-shaped table joins on that backend",
+    )
+    topology.add_argument(
+        "--dynamics-events", type=int, default=0, metavar="N",
+        help="with --ases: schedule N link failures (plus recoveries "
+             "and one policy flip), heal stale entries, and report "
+             "pre/post oracle precision and recall",
+    )
     topology.set_defaults(func=cmd_topology)
 
     sweep = subparsers.add_parser("sweep", help="run an FN/FP seed sweep")

@@ -184,6 +184,12 @@ class WeHeYCoordinator:
         clock / sleep: time source and delay callable for the retry
             budget.  The default accounts backoff virtually without
             sleeping; pass ``sleep=time.sleep`` in a real deployment.
+        preflight_verify: re-verify each candidate entry *before*
+            spending replays on it.  Off by default (the paper's flow
+            verifies after the test); turn it on when routes are known
+            to be in flux -- e.g. under a route-dynamics schedule --
+            so stale entries are invalidated for the price of two
+            traceroutes instead of a discarded measurement.
     """
 
     def __init__(
@@ -198,6 +204,7 @@ class WeHeYCoordinator:
         fault_injector=None,
         clock=time.monotonic,
         sleep=None,
+        preflight_verify=False,
     ):
         self.internet = internet
         self.database = database
@@ -210,6 +217,7 @@ class WeHeYCoordinator:
         self.telemetry = Counter()
         self._clock = clock
         self._sleep = sleep
+        self.preflight_verify = preflight_verify
 
     def run_test(self, client_name, app="netflix"):
         """One full WeHeY invocation for ``client_name``.
@@ -266,6 +274,27 @@ class WeHeYCoordinator:
                         server_pair=entry.server_pair,
                         failure=CoordinationStatus.NO_TOPOLOGY,
                         reason="stale topology entry",
+                    )
+                )
+                continue
+
+            if self.preflight_verify and not self.verifier.verify(
+                entry, client.name
+            ):
+                # The routes moved since TC built this entry.  Drop it
+                # now -- two traceroutes are far cheaper than a replay
+                # pair that post-replay verification would discard.
+                self.database.invalidate(entry)
+                candidates.popleft()
+                self.telemetry["preflight_stale"] += 1
+                if _obs.ENABLED:
+                    _obs.SINK.inc("coordinator.preflight_stale")
+                attempts.append(
+                    AttemptRecord(
+                        index=len(attempts),
+                        server_pair=entry.server_pair,
+                        failure=CoordinationStatus.NO_TOPOLOGY,
+                        reason="preflight: topology changed",
                     )
                 )
                 continue

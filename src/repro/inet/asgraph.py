@@ -1,0 +1,248 @@
+"""Seeded CAIDA-style AS-level graphs.
+
+The generator grows the graph the way the real AS topology grew:
+a small clique of tier-1 providers peering with each other, a transit
+tier attaching to existing providers with probability proportional to
+their degree (preferential attachment -- this is what produces the
+power-law degree distribution CAIDA measures), and a large fringe of
+stub ASes (client ISPs and content networks) buying transit from one
+or two providers.  Edges carry the Gao-Rexford business labels --
+customer/provider or peer -- that the policy engine's export rules run
+on.
+
+Everything is deterministic per seed: the same ``(seed, parameters)``
+always yields a byte-identical graph (:meth:`ASGraph.fingerprint`
+hashes a canonical serialization, and ``tests/inet`` pins it).
+"""
+
+import hashlib
+
+import numpy as np
+
+#: Edge relationship labels.
+PEER = "peer"
+CUSTOMER_PROVIDER = "cp"
+
+
+class ASGraph:
+    """An AS-level graph with labelled business relationships.
+
+    Adjacency is exposed through :meth:`providers`, :meth:`customers`
+    and :meth:`peers`, which return *sorted tuples* (deterministic
+    iteration order) and respect link state: a downed link disappears
+    from every adjacency view until :meth:`link_up` restores it.
+    """
+
+    def __init__(self):
+        self.tiers = {}  # asn -> "tier1" | "transit" | "stub" | "content"
+        self._providers = {}  # asn -> set of provider asns
+        self._customers = {}  # asn -> set of customer asns
+        self._peers = {}  # asn -> set of peer asns
+        self._edges = {}  # frozenset({a, b}) -> (kind, customer, provider)
+        self._down = set()  # frozensets of failed links
+        #: Optional per-AS provider preference (policy knob): asn ->
+        #: preferred provider asn.  Consulted by the routing engine's
+        #: provider-route selection; flipped by dynamics events.
+        self.provider_pref = {}
+
+    # -- construction -------------------------------------------------
+
+    def add_as(self, asn, tier):
+        if asn in self.tiers:
+            raise ValueError(f"duplicate ASN {asn}")
+        self.tiers[asn] = tier
+        self._providers[asn] = set()
+        self._customers[asn] = set()
+        self._peers[asn] = set()
+
+    def add_customer(self, customer, provider):
+        """Add a customer->provider transit edge."""
+        key = frozenset((customer, provider))
+        if key in self._edges:
+            raise ValueError(f"duplicate edge {customer}-{provider}")
+        self._edges[key] = (CUSTOMER_PROVIDER, customer, provider)
+        self._providers[customer].add(provider)
+        self._customers[provider].add(customer)
+
+    def add_peer(self, a, b):
+        """Add a settlement-free peering edge."""
+        key = frozenset((a, b))
+        if key in self._edges:
+            raise ValueError(f"duplicate edge {a}-{b}")
+        self._edges[key] = (PEER, None, None)
+        self._peers[a].add(b)
+        self._peers[b].add(a)
+
+    # -- adjacency (live links only) ----------------------------------
+
+    def _up(self, a, b):
+        return frozenset((a, b)) not in self._down
+
+    def providers(self, asn):
+        return tuple(sorted(p for p in self._providers[asn] if self._up(asn, p)))
+
+    def customers(self, asn):
+        return tuple(sorted(c for c in self._customers[asn] if self._up(asn, c)))
+
+    def peers(self, asn):
+        return tuple(sorted(p for p in self._peers[asn] if self._up(asn, p)))
+
+    def degree(self, asn):
+        return (
+            len(self._providers[asn])
+            + len(self._customers[asn])
+            + len(self._peers[asn])
+        )
+
+    def relationship(self, a, b):
+        """``("peer", None, None)`` or ``("cp", customer, provider)``."""
+        return self._edges[frozenset((a, b))]
+
+    def has_edge(self, a, b):
+        return frozenset((a, b)) in self._edges
+
+    def link_is_up(self, a, b):
+        return self.has_edge(a, b) and self._up(a, b)
+
+    @property
+    def asns(self):
+        return tuple(sorted(self.tiers))
+
+    @property
+    def n_edges(self):
+        return len(self._edges)
+
+    # -- link state (dynamics) ----------------------------------------
+
+    def link_down(self, a, b):
+        """Fail the a-b link; adjacency views stop reporting it."""
+        key = frozenset((a, b))
+        if key not in self._edges:
+            raise KeyError(f"no edge {a}-{b}")
+        self._down.add(key)
+
+    def link_up(self, a, b):
+        key = frozenset((a, b))
+        if key not in self._edges:
+            raise KeyError(f"no edge {a}-{b}")
+        self._down.discard(key)
+
+    @property
+    def down_links(self):
+        return tuple(sorted(tuple(sorted(k)) for k in self._down))
+
+    # -- determinism --------------------------------------------------
+
+    def serialize(self):
+        """A canonical text serialization (sorted, state-independent).
+
+        Link state and provider preferences are *runtime* state, not
+        graph identity, so they are excluded: a graph equals itself
+        across a failure/recovery cycle.
+        """
+        lines = []
+        for asn in sorted(self.tiers):
+            lines.append(f"as {asn} {self.tiers[asn]}")
+        for key in sorted(self._edges, key=sorted):
+            kind, customer, provider = self._edges[key]
+            if kind == PEER:
+                a, b = sorted(key)
+                lines.append(f"peer {a} {b}")
+            else:
+                lines.append(f"cp {customer} {provider}")
+        return "\n".join(lines)
+
+    def fingerprint(self):
+        """SHA-256 over the canonical serialization."""
+        return hashlib.sha256(self.serialize().encode("utf-8")).hexdigest()
+
+
+def _preferential_pick(rng, candidates, degrees, k):
+    """Pick ``k`` distinct candidates with probability ~ degree + 1."""
+    if k >= len(candidates):
+        return list(candidates)
+    weights = np.asarray([degrees[c] + 1.0 for c in candidates])
+    weights /= weights.sum()
+    picked = rng.choice(len(candidates), size=k, replace=False, p=weights)
+    return [candidates[int(i)] for i in sorted(picked)]
+
+
+def generate_as_graph(
+    seed,
+    n_ases=1000,
+    n_tier1=6,
+    transit_fraction=0.12,
+    multihome_fraction=0.5,
+    peer_density=0.25,
+    content_fraction=0.1,
+):
+    """Generate a seeded CAIDA-style AS graph.
+
+    Parameters:
+        seed: integer; same seed -> byte-identical graph.
+        n_ases: total AS count (tier-1 + transit + stubs).
+        n_tier1: size of the tier-1 peering clique.
+        transit_fraction: fraction of ASes in the transit tier.
+        multihome_fraction: probability a stub buys from two providers
+            instead of one (multihomed stubs are the ones that survive
+            a provider-link failure -- route dynamics needs them).
+        peer_density: probability each transit AS adds one lateral
+            peering link to an earlier transit AS.
+        content_fraction: fraction of stubs tagged ``"content"``
+            (candidate M-Lab server sites; the rest are client ISPs).
+    """
+    if n_ases < n_tier1 + 2:
+        raise ValueError("n_ases too small for the requested tier-1 clique")
+    rng = np.random.default_rng([int(seed), 0x51ED])
+    graph = ASGraph()
+    n_transit = max(2, int(n_ases * transit_fraction))
+    n_stub = n_ases - n_tier1 - n_transit
+    if n_stub < 1:
+        raise ValueError("no room for stub ASes; shrink the upper tiers")
+
+    # ASN blocks: tier-1 from 10, transit from 100, stubs from 5000.
+    # The gaps keep the tiers visually separable in traces and leave
+    # room for the tiers to grow without renumbering.
+    tier1 = [10 + i for i in range(n_tier1)]
+    transit = [100 + i for i in range(n_transit)]
+    stubs = [5000 + i for i in range(n_stub)]
+
+    for asn in tier1:
+        graph.add_as(asn, "tier1")
+    for a in tier1:
+        for b in tier1:
+            if a < b:
+                graph.add_peer(a, b)
+
+    degrees = {asn: graph.degree(asn) for asn in tier1}
+
+    # Transit tier: preferential attachment into everything above it.
+    for asn in transit:
+        graph.add_as(asn, "transit")
+        upstream = [a for a in tier1 + transit if a in degrees]
+        n_providers = 1 + int(rng.random() < 0.5)
+        for provider in _preferential_pick(rng, upstream, degrees, n_providers):
+            graph.add_customer(asn, provider)
+        # Lateral peering with an earlier transit AS (CAIDA's dense
+        # mid-tier mesh), degree-biased like everything else.
+        earlier = [a for a in transit if a < asn]
+        if earlier and rng.random() < peer_density:
+            peer = _preferential_pick(rng, earlier, degrees, 1)[0]
+            if not graph.has_edge(asn, peer):
+                graph.add_peer(asn, peer)
+        degrees[asn] = graph.degree(asn)
+        for neighbor in graph.providers(asn) + graph.peers(asn):
+            degrees[neighbor] = graph.degree(neighbor)
+
+    # Stub fringe: client ISPs and content networks buying transit.
+    upstream = tier1 + transit
+    for asn in stubs:
+        tier = "content" if rng.random() < content_fraction else "stub"
+        graph.add_as(asn, tier)
+        n_providers = 1 + int(rng.random() < multihome_fraction)
+        for provider in _preferential_pick(rng, upstream, degrees, n_providers):
+            graph.add_customer(asn, provider)
+            degrees[provider] = graph.degree(provider)
+        degrees[asn] = graph.degree(asn)
+
+    return graph

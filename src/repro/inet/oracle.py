@@ -1,0 +1,144 @@
+"""Ground-truth oracle for topology construction over a PolicyInternet.
+
+Topology construction works from traceroute *observations*; the oracle
+works from the internet itself.  It walks the same effective
+router-level forwarding paths the internet serves (including stale
+paths inside convergence windows) and derives the *true* suitable
+server pairs per client -- by canonical router identity, so IP
+aliasing and ICMP blocking cannot fool it.  Scoring a
+:class:`~repro.mlab.topology_construction.TopologyDatabase` against
+the oracle yields the precision/recall numbers the acceptance gate
+pins: what fraction of TC's pairs are really suitable (precision), and
+what fraction of the really-suitable pairs TC found (recall).
+
+Because the oracle reads *effective* forwarding, it shifts together
+with route dynamics: score before an event, during its convergence
+window, and after healing, and the trajectory shows exactly which
+database entries went stale and whether invalidation caught them.
+"""
+
+from repro.mlab.topology_construction import prefix_of
+
+
+class TopologyOracle:
+    """Derives true suitable server pairs from a ``PolicyInternet``."""
+
+    def __init__(self, internet):
+        self.internet = internet
+        self._servers_by_name = {s.name: s for s in internet.servers}
+
+    # -- ground truth per pair ----------------------------------------
+
+    def _complete_route(self, server, client):
+        """The forwarding path, or None if it never reaches the client."""
+        route = self.internet.route(server, client)
+        isp = self.internet.isp_of(client)
+        if not route or route[-1] is not isp.last_miles.get(client.name):
+            return None
+        return route
+
+    def pair_suitable(self, server_name_1, server_name_2, client_name):
+        """True iff the two servers' paths to the client converge
+        inside the client's ISP and nowhere else -- by canonical router
+        identity, on the paths being forwarded *right now*."""
+        if server_name_1 == server_name_2:
+            return False
+        client = self.internet.find_client(client_name)
+        route_1 = self._complete_route(
+            self._servers_by_name[server_name_1], client
+        )
+        route_2 = self._complete_route(
+            self._servers_by_name[server_name_2], client
+        )
+        if route_1 is None or route_2 is None:
+            return False
+        nodes_1 = {router.name: router for router in route_1}
+        nodes_2 = {router.name: router for router in route_2}
+        common = nodes_1.keys() & nodes_2.keys()
+        if not common:
+            return False
+        return all(nodes_1[name].asn == client.asn for name in common)
+
+    def true_pairs(self, client):
+        """All truly suitable server-name pairs for ``client``."""
+        names = sorted(self._servers_by_name)
+        pairs = set()
+        for i, name_1 in enumerate(names):
+            for name_2 in names[i + 1:]:
+                if self.pair_suitable(name_1, name_2, client.name):
+                    pairs.add((name_1, name_2))
+        return pairs
+
+    def pair_suitable_now(self, entry, client_name):
+        """Is a TC database entry's server pair still truly suitable?
+
+        The coordinator-facing form of :meth:`pair_suitable`: feed it
+        the :class:`~repro.mlab.topology_construction.SuitableTopology`
+        the coordinator is about to act on, and it says whether acting
+        on it now would use a genuinely suitable pair.
+        """
+        name_1, name_2 = entry.server_pair
+        return self.pair_suitable(name_1, name_2, client_name)
+
+    # -- scoring a TC database ----------------------------------------
+
+    def score(self, database, clients=None):
+        """Precision/recall of ``database`` against the ground truth.
+
+        Precision: of the server pairs the database claims suitable,
+        how many are.  Recall: of the truly suitable pairs, how many
+        the database found.  Both computed over ``clients`` (default:
+        every client in the internet).
+        """
+        if clients is None:
+            clients = self.internet.clients
+        tp = fp = fn = 0
+        per_client = {}
+        for client in clients:
+            truth = self.true_pairs(client)
+            predicted = {
+                tuple(sorted(entry.server_pair))
+                for entry in database.lookup(client.ip, client.asn)
+            }
+            client_tp = len(predicted & truth)
+            tp += client_tp
+            fp += len(predicted - truth)
+            fn += len(truth - predicted)
+            per_client[client.name] = {
+                "true": len(truth),
+                "predicted": len(predicted),
+                "tp": client_tp,
+            }
+        predicted_total = tp + fp
+        truth_total = tp + fn
+        return {
+            "tp": tp,
+            "fp": fp,
+            "fn": fn,
+            "predicted_pairs": predicted_total,
+            "true_pairs": truth_total,
+            "precision": tp / predicted_total if predicted_total else 1.0,
+            "recall": tp / truth_total if truth_total else 1.0,
+            "per_client": per_client,
+        }
+
+    def stale_entries(self, database):
+        """Database entries whose pair is no longer truly suitable.
+
+        These are the entries post-replay verification should catch and
+        :meth:`~repro.mlab.topology_construction.TopologyDatabase.invalidate`
+        should heal after a route-dynamics event.
+        """
+        stale = []
+        clients_by_key = {
+            (prefix_of(client.ip), client.asn): client
+            for client in self.internet.clients
+        }
+        for key, entries in database.entries.items():
+            client = clients_by_key.get(key)
+            if client is None:
+                continue
+            for entry in entries:
+                if not self.pair_suitable_now(entry, client.name):
+                    stale.append((entry, client.name))
+        return stale

@@ -1,0 +1,213 @@
+"""Gao-Rexford policy routing over an :class:`~repro.inet.asgraph.ASGraph`.
+
+Route computation follows the standard three-stage construction of the
+Gao-Rexford stable routing tree for one destination:
+
+1. **Customer routes** propagate *up* provider edges from the
+   destination (every AS on an all-uphill path learns the route from a
+   customer, and will export it to all neighbors).
+2. **Peer routes**: an AS whose peer selected a customer route (or is
+   the origin) learns the route across the peering edge; peer-learned
+   routes are only exported to customers, so they propagate no further
+   laterally.
+3. **Provider routes** propagate *down* customer edges from every AS
+   routed so far (providers export their best route to customers,
+   whatever its class).
+
+Selection at each AS is local-pref first (customer > peer > provider),
+then shortest AS path, then lowest next-hop ASN -- a total order, so
+the tree is unique and deterministic.  The resulting paths are
+valley-free by construction; ``tests/inet`` re-verifies both the
+valley-free shape and export-rule compliance independently.
+
+A per-AS *provider preference* (``graph.provider_pref``) models the
+local-pref overrides ISPs actually configure: a stub that prefers one
+of its providers takes that provider's route regardless of path
+length.  Dynamics events flip it mid-test.
+"""
+
+from dataclasses import dataclass
+
+from repro.inet.asgraph import CUSTOMER_PROVIDER
+from repro.obs import metrics as _obs
+
+#: Route classes, in selection-preference order.
+ORIGIN = "origin"
+FROM_CUSTOMER = "customer"
+FROM_PEER = "peer"
+FROM_PROVIDER = "provider"
+
+
+@dataclass(frozen=True)
+class Route:
+    """One AS's selected route toward the tree's destination."""
+
+    next_hop: int  # None at the origin
+    learned_from: str  # ORIGIN / FROM_CUSTOMER / FROM_PEER / FROM_PROVIDER
+    path_len: int
+
+
+def compute_routes(graph, dest):
+    """The stable routing tree toward ``dest``: ``{asn: Route}``.
+
+    ASes absent from the result have no policy-compliant route (for
+    example a stub whose only provider link is down).
+    """
+    routes = {dest: Route(None, ORIGIN, 0)}
+
+    # Stage 1: customer routes, BFS up provider edges.  Level k+1 ASes
+    # are providers of level-k ASes; the minimum next-hop ASN wins ties
+    # within a level.
+    frontier = [dest]
+    while frontier:
+        chosen = {}
+        for asn in sorted(frontier):
+            for provider in graph.providers(asn):
+                if provider in routes:
+                    continue
+                if provider not in chosen or asn < chosen[provider]:
+                    chosen[provider] = asn
+        for provider, next_hop in chosen.items():
+            routes[provider] = Route(
+                next_hop, FROM_CUSTOMER, routes[next_hop].path_len + 1
+            )
+        frontier = list(chosen)
+
+    # Stage 2: peer routes.  Only customer routes (and the origin) are
+    # exported across peering edges, and only ASes without a customer
+    # route accept one.  Assignment is simultaneous: peer routes never
+    # chain through other peer routes.
+    peer_routes = {}
+    for asn in graph.asns:
+        if asn in routes:
+            continue
+        best = None
+        for peer in graph.peers(asn):
+            route = routes.get(peer)
+            if route is None or route.learned_from not in (ORIGIN, FROM_CUSTOMER):
+                continue
+            key = (route.path_len + 1, peer)
+            if best is None or key < best:
+                best = key
+        if best is not None:
+            peer_routes[asn] = Route(best[1], FROM_PEER, best[0])
+    routes.update(peer_routes)
+
+    # Stage 3: provider routes, multi-source BFS down customer edges.
+    # Every routed AS exports its best route to its customers; buckets
+    # process sources in increasing path length so each unrouted AS
+    # gets the shortest provider route, lowest provider ASN on ties.
+    buckets = {}
+    for asn, route in routes.items():
+        buckets.setdefault(route.path_len, []).append(asn)
+    level = 0
+    max_level = max(buckets) if buckets else 0
+    while level <= max_level:
+        chosen = {}
+        for asn in sorted(buckets.get(level, ())):
+            for customer in graph.customers(asn):
+                if customer in routes:
+                    continue
+                if customer not in chosen or asn < chosen[customer]:
+                    chosen[customer] = asn
+        for customer, provider in chosen.items():
+            routes[customer] = Route(
+                provider, FROM_PROVIDER, routes[provider].path_len + 1
+            )
+            new_level = routes[customer].path_len
+            buckets.setdefault(new_level, []).append(customer)
+            if new_level > max_level:
+                max_level = new_level
+        level += 1
+
+    # Local-pref overrides: an AS that prefers one of its providers
+    # takes that provider's route even when it is longer.  Applied as a
+    # post-pass, and only to ASes whose selected route is already
+    # provider-class (customer > peer > provider preference is
+    # unaffected).  The dynamics generator restricts preferences to
+    # stub ASes with no customers, so the override never re-ranks a
+    # route someone downstream already selected.
+    for asn, preferred in graph.provider_pref.items():
+        route = routes.get(asn)
+        if route is None or route.learned_from != FROM_PROVIDER:
+            continue
+        if route.next_hop == preferred:
+            continue
+        upstream = routes.get(preferred)
+        if upstream is None or not graph.link_is_up(asn, preferred):
+            continue
+        routes[asn] = Route(preferred, FROM_PROVIDER, upstream.path_len + 1)
+
+    if _obs.ENABLED:
+        _obs.SINK.inc("inet.routes_computed", len(routes))
+    return routes
+
+
+def as_path(routes, src, dest):
+    """The AS path ``src -> ... -> dest`` through a routing tree.
+
+    Returns a tuple of ASNs, or ``None`` when ``src`` has no route.
+    """
+    if src == dest:
+        return (dest,)
+    route = routes.get(src)
+    if route is None:
+        return None
+    path = [src]
+    asn = src
+    while asn != dest:
+        asn = routes[asn].next_hop
+        path.append(asn)
+        if len(path) > len(routes) + 1:
+            raise RuntimeError("routing loop -- the tree is corrupt")
+    return tuple(path)
+
+
+def step_relationship(graph, a, b):
+    """Classify the forwarding step a->b: "up", "down", or "peer"."""
+    kind, customer, provider = graph.relationship(a, b)
+    if kind == "peer":
+        return "peer"
+    return "up" if customer == a else "down"
+
+
+def is_valley_free(graph, path):
+    """True iff ``path`` matches the up* peer? down* shape."""
+    phase = 0  # 0 = climbing, 1 = crossed the peak peer edge, 2 = descending
+    for a, b in zip(path, path[1:]):
+        step = step_relationship(graph, a, b)
+        if step == "up":
+            if phase != 0:
+                return False
+        elif step == "peer":
+            if phase != 0:
+                return False
+            phase = 1
+        else:  # down
+            phase = 2
+    return True
+
+
+def is_export_compliant(graph, path):
+    """True iff every advertisement along ``path`` was allowed.
+
+    For the step ``a -> b`` (``a`` forwards via ``b``), ``b``
+    advertised its route to ``a``; that is allowed iff ``a`` is a
+    customer of ``b``, or ``b``'s own route is customer-learned or the
+    origin (``b`` is the destination, or ``b``'s next hop is one of
+    its customers).
+    """
+    dest = path[-1]
+    for i in range(len(path) - 1):
+        a, b = path[i], path[i + 1]
+        kind, customer, provider = graph.relationship(a, b)
+        if kind == CUSTOMER_PROVIDER and customer == a:
+            continue  # b exports everything to its customer a
+        if b == dest:
+            continue  # origin exports to everyone
+        c = path[i + 2]
+        b_kind, b_customer, _ = graph.relationship(b, c)
+        if b_kind == CUSTOMER_PROVIDER and b_customer == c:
+            continue  # b's route is customer-learned
+        return False
+    return True

@@ -21,7 +21,11 @@ chain as a faithful substitute:
 """
 
 from repro.mlab.internet import SyntheticInternet
-from repro.mlab.topology_construction import TopologyConstructor, TopologyDatabase
+from repro.mlab.topology_construction import (
+    TopologyConstructor,
+    TopologyDatabase,
+    build_topology_from_tables,
+)
 from repro.mlab.traceroute import TracerouteRecord, run_traceroute
 
 __all__ = [
@@ -30,4 +34,5 @@ __all__ = [
     "run_traceroute",
     "TopologyConstructor",
     "TopologyDatabase",
+    "build_topology_from_tables",
 ]

@@ -122,6 +122,8 @@ class SyntheticInternet:
         self.transit_routers = {}  # asn -> [Router]
         self.isps = []
         self.clients = []
+        self._isps_by_name = {}
+        self._clients_by_name = {}
         self._routes = {}  # (server name, client name) -> [Router]
 
         # Server ASes: ASN 100+site; transit: 200+i; ISPs: 300+i.
@@ -174,15 +176,17 @@ class SyntheticInternet:
                     f"{isp.name}-lm{c}", asn, (_ip(30, i, 100 + c, 1),)
                 )
                 self.clients.append(client)
+                self._clients_by_name[client.name] = client
             self.isps.append(isp)
+            self._isps_by_name[isp.name] = isp
 
         self._build_routes()
 
     def isp_of(self, client):
-        for isp in self.isps:
-            if isp.name == client.isp:
-                return isp
-        raise KeyError(client.isp)
+        try:
+            return self._isps_by_name[client.isp]
+        except KeyError:
+            raise KeyError(client.isp) from None
 
     def _build_routes(self):
         """Assign each (server, client) pair a router-level path."""
@@ -215,7 +219,7 @@ class SyntheticInternet:
         return self._routes[(server.name, client.name)]
 
     def find_client(self, name):
-        for client in self.clients:
-            if client.name == name:
-                return client
-        raise KeyError(name)
+        try:
+            return self._clients_by_name[name]
+        except KeyError:
+            raise KeyError(name) from None

@@ -2,8 +2,16 @@
 
 TC's input is two tables -- scamper traceroutes and per-hop annotations
 -- that get merged on the hop IP (Section 3.3).  ``Table`` supports just
-what that pipeline needs: append, scan with a predicate, and an
-equi-join producing merged row dicts.
+what that pipeline needs: append, scan with a predicate, equi-join, and
+the two filters TC runs after the merge.
+
+Two backends share this API: ``Table`` here (row dicts, the reference
+implementation) and :class:`repro.inet.coltable.ColumnarTable` (numpy
+column arrays, vectorized join and filters, for BigQuery-scale row
+counts).  ``make_table`` picks one by name, and the builder functions
+take a ``backend=`` so the whole TC pipeline can switch without code
+changes -- ``tests/inet`` asserts both produce identical topology
+databases.
 """
 
 
@@ -15,6 +23,7 @@ class Table:
             raise ValueError("a table needs at least one column")
         self.name = name
         self.columns = tuple(columns)
+        self._colset = frozenset(columns)
         self._rows = []
 
     def __len__(self):
@@ -24,20 +33,85 @@ class Table:
         return iter(self._rows)
 
     def insert(self, **values):
-        missing = set(self.columns) - set(values)
-        extra = set(values) - set(self.columns)
-        if missing or extra:
-            raise ValueError(
-                f"row does not match schema of {self.name!r}: "
-                f"missing={sorted(missing)} extra={sorted(extra)}"
-            )
-        self._rows.append(dict(values))
+        # Exact schema match is the overwhelmingly common case; one set
+        # comparison decides it, and the diagnostics are only computed
+        # on the failure path.
+        if values.keys() == self._colset:
+            self._rows.append(values)
+            return
+        missing = self._colset - values.keys()
+        extra = values.keys() - self._colset
+        raise ValueError(
+            f"row does not match schema of {self.name!r}: "
+            f"missing={sorted(missing)} extra={sorted(extra)}"
+        )
+
+    def extend(self, rows):
+        """Bulk append; every row must match the schema exactly."""
+        append = self._rows.append
+        colset = self._colset
+        for row in rows:
+            if row.keys() != colset:
+                missing = colset - row.keys()
+                extra = row.keys() - colset
+                raise ValueError(
+                    f"row does not match schema of {self.name!r}: "
+                    f"missing={sorted(missing)} extra={sorted(extra)}"
+                )
+            append(dict(row))
 
     def scan(self, predicate=None):
         """Yield rows (optionally filtered)."""
         for row in self._rows:
             if predicate is None or predicate(row):
                 yield row
+
+    def materialize(self):
+        """No-op, for API parity with the columnar backend.
+
+        The columnar backend buffers appends and encodes them into
+        arrays on first read; ``materialize`` lets callers take that
+        cost eagerly at ingestion time.  Rows here are already their
+        final representation.
+        """
+
+    def column(self, name):
+        """One column's values as a list, in row order."""
+        if name not in self._colset:
+            raise KeyError(name)
+        return [row[name] for row in self._rows]
+
+    def where_equals(self, column, value):
+        """Rows with ``row[column] == value``, as a new table."""
+        return self._from_shared_rows(
+            [row for row in self._rows if row[column] == value]
+        )
+
+    def where_columns_equal(self, column_a, column_b):
+        """Rows where two columns agree, as a new table."""
+        return self._from_shared_rows(
+            [row for row in self._rows if row[column_a] == row[column_b]]
+        )
+
+    def renamed(self, mapping):
+        """A copy with columns renamed per ``mapping``."""
+        unknown = set(mapping) - self._colset
+        if unknown:
+            raise KeyError(f"no such columns: {sorted(unknown)}")
+        new_columns = tuple(mapping.get(c, c) for c in self.columns)
+        if len(set(new_columns)) != len(new_columns):
+            raise ValueError("renaming collides column names")
+        table = Table(self.name, new_columns)
+        table._rows = [
+            {mapping.get(c, c): row[c] for c in self.columns}
+            for row in self._rows
+        ]
+        return table
+
+    def _from_shared_rows(self, rows):
+        table = Table(self.name, self.columns)
+        table._rows = rows
+        return table
 
     def join(self, other, on, how="inner"):
         """Equi-join on column ``on``; returns a list of merged dicts.
@@ -68,23 +142,56 @@ class Table:
                 merged.append(combined)
         return merged
 
+    def join_table(self, other, on, how="inner"):
+        """Equi-join returning a table (same rows as :meth:`join`)."""
+        right_columns = tuple(c for c in other.columns if c != on)
+        table = Table(
+            f"{self.name}*{other.name}", self.columns + right_columns
+        )
+        table._rows = self.join(other, on, how=how)
+        return table
 
-def traceroute_table(records):
-    """Flatten traceroute records into the scamper-style hop table."""
-    table = Table(
-        "traceroutes",
-        (
-            "traceroute_id",
-            "server_name",
-            "server_ip",
-            "destination_ip",
-            "hop_index",
-            "hop_ip",
-            "rtt_ms",
-        ),
-    )
+
+def make_table(name, columns, backend="row"):
+    """Construct a table on the requested backend."""
+    if backend == "row":
+        return Table(name, columns)
+    if backend == "columnar":
+        from repro.inet.coltable import ColumnarTable
+
+        return ColumnarTable(name, columns)
+    raise ValueError(f"unknown table backend {backend!r}")
+
+
+TRACEROUTE_COLUMNS = (
+    "traceroute_id",
+    "server_name",
+    "server_ip",
+    "destination_ip",
+    "hop_index",
+    "hop_ip",
+    "egress_ip",
+    "rtt_ms",
+)
+
+
+def traceroute_table(records, backend="row"):
+    """Flatten traceroute records into the scamper-style hop table.
+
+    ``egress_ip`` is the interface the hop reported as the *source* of
+    the next link; on a non-aliased router it equals ``hop_ip``, so
+    Section 3.3's link-consistency filter (b) becomes the columnar
+    predicate ``hop_ip == egress_ip``.
+    """
+    table = make_table("traceroutes", TRACEROUTE_COLUMNS, backend=backend)
     for traceroute_id, record in enumerate(records):
+        links = record.links
         for hop_index, hop in enumerate(record.hops):
+            egress = (
+                links[hop_index + 1][0]
+                if hop_index + 1 < len(links)
+                else hop.ip
+            )
             table.insert(
                 traceroute_id=traceroute_id,
                 server_name=record.server_name,
@@ -92,14 +199,17 @@ def traceroute_table(records):
                 destination_ip=record.destination_ip,
                 hop_index=hop_index,
                 hop_ip=hop.ip,
+                egress_ip=egress,
                 rtt_ms=hop.rtt_ms,
             )
     return table
 
 
-def annotation_table(database):
+def annotation_table(database, backend="row"):
     """The annotation side of the merge, keyed by hop IP."""
-    table = Table("annotations", ("hop_ip", "asn", "country"))
+    table = make_table(
+        "annotations", ("hop_ip", "asn", "country"), backend=backend
+    )
     for annotation in database._annotations.values():
         table.insert(
             hop_ip=annotation.ip, asn=annotation.asn, country=annotation.country

@@ -19,6 +19,8 @@ Filters (both applied before the pair search):
 
 from dataclasses import dataclass, field
 
+from repro.obs import metrics as _obs
+
 
 def prefix_of(ip, length=24):
     """The /24 (or /48-style) prefix key of an IPv4 address."""
@@ -50,6 +52,8 @@ class TopologyDatabase:
     def add(self, topology):
         key = (topology.destination_prefix, topology.destination_asn)
         self.entries.setdefault(key, []).append(topology)
+        if _obs.ENABLED:
+            _obs.SINK.inc("mlab.tc.pairs_found")
 
     def lookup(self, destination_ip, destination_asn):
         """Server pairs usable for a client at ``destination_ip``.
@@ -74,6 +78,8 @@ class TopologyDatabase:
         entries.remove(topology)
         if not entries:
             del self.entries[key]
+        if _obs.ENABLED:
+            _obs.SINK.inc("mlab.tc.entries_invalidated")
         return True
 
     def __len__(self):
@@ -146,6 +152,8 @@ class TopologyConstructor:
     def build(self, records):
         """Run the full pipeline; returns a :class:`TopologyDatabase`."""
         database = TopologyDatabase()
+        if _obs.ENABLED:
+            _obs.SINK.inc("mlab.tc.rows_scanned", len(records))
         usable_records = [r for r in records if self.usable(r)]
         by_destination = {}
         for record in usable_records:
@@ -209,3 +217,111 @@ class TopologyConstructor:
             if complete
             else 0.0,
         }
+
+
+def build_topology_from_tables(traceroutes, annotations):
+    """Run the Section-3.3 pipeline from the *tables* instead of records.
+
+    This is the BigQuery-shaped formulation: the hop table is
+    left-joined with the annotation table on ``hop_ip``, then with the
+    annotation table again (renamed) on ``destination_ip``, and the
+    filters and pair search run over the merged rows.  It accepts
+    either table backend (``repro.mlab.tables.Table`` or
+    ``repro.inet.coltable.ColumnarTable``) and produces a database
+    identical to :meth:`TopologyConstructor.build` on the records the
+    tables were built from -- the grouping and pair logic below is
+    deliberately backend-agnostic python so any divergence between
+    backends is the join's fault, which is exactly what the parity
+    tests pin.
+    """
+    annotated = traceroutes.join_table(annotations, on="hop_ip", how="left")
+    destination_side = annotations.renamed(
+        {
+            "hop_ip": "destination_ip",
+            "asn": "destination_asn",
+            "country": "destination_country",
+        }
+    )
+    merged = annotated.join_table(
+        destination_side, on="destination_ip", how="left"
+    )
+    if _obs.ENABLED:
+        _obs.SINK.inc("mlab.tc.rows_scanned", len(merged))
+
+    # Regroup the merged rows into per-traceroute hop lists.  Hop rows
+    # were inserted in (traceroute, hop_index) order and both join
+    # backends preserve left-row order, so groups come out contiguous
+    # and ordered.
+    tids = merged.column("traceroute_id")
+    servers = merged.column("server_name")
+    dest_ips = merged.column("destination_ip")
+    dest_asns = merged.column("destination_asn")
+    hop_ips = merged.column("hop_ip")
+    egress_ips = merged.column("egress_ip")
+    hop_asns = merged.column("asn")
+
+    order = []  # tids in first-seen order
+    groups = {}
+    for i, tid in enumerate(tids):
+        group = groups.get(tid)
+        if group is None:
+            group = groups[tid] = []
+            order.append(tid)
+        group.append(i)
+
+    database = TopologyDatabase()
+    by_destination = {}
+    for tid in order:
+        rows = groups[tid]
+        last = rows[-1]
+        dest_asn = dest_asns[last]
+        # Filter (a): the last hop must resolve to the destination ASN.
+        if dest_asn is None or hop_asns[last] != dest_asn:
+            continue
+        # Filter (b): every reported hop must use one interface for
+        # both adjacent links (hop_ip == egress_ip; see
+        # ``traceroute_table``).
+        if any(hop_ips[i] != egress_ips[i] for i in rows):
+            continue
+        record = (
+            servers[last],
+            dest_ips[last],
+            tuple((hop_ips[i], hop_asns[i]) for i in rows),
+        )
+        by_destination.setdefault(dest_ips[last], (dest_asn, []))[1].append(
+            record
+        )
+
+    for destination_ip, (destination_asn, dest_records) in by_destination.items():
+        seen_pairs = set()
+        for i, record_1 in enumerate(dest_records):
+            server_1, _, hops_1 = record_1
+            for record_2 in dest_records[i + 1 :]:
+                server_2, _, hops_2 = record_2
+                if server_1 == server_2:
+                    continue
+                pair = tuple(sorted((server_1, server_2)))
+                if pair in seen_pairs:
+                    continue
+                ips_1 = {ip for ip, _ in hops_1} - {destination_ip}
+                ips_2 = {ip for ip, _ in hops_2} - {destination_ip}
+                common = ips_1 & ips_2
+                if not common:
+                    continue
+                asn_of = dict(hops_1)
+                asn_of.update(dict(hops_2))
+                common_inside = {
+                    ip for ip in common if asn_of[ip] == destination_asn
+                }
+                if (common - common_inside) or not common_inside:
+                    continue
+                seen_pairs.add(pair)
+                database.add(
+                    SuitableTopology(
+                        destination_prefix=prefix_of(destination_ip),
+                        destination_asn=destination_asn,
+                        server_pair=pair,
+                        common_candidates=tuple(sorted(common_inside)),
+                    )
+                )
+    return database

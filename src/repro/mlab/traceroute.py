@@ -86,7 +86,16 @@ def run_traceroute(internet, server, client, rng, fault_injector=None):
         node_ips.append((as_destination, as_source))
         rtt += float(rng.uniform(1.0, 6.0))
         hops.append(Hop(ip=as_destination, rtt_ms=rtt))
-    reached = truncate_at == len(route) and not isp.blocks_icmp
+    # The probe only reaches the client if the route actually ends at
+    # the client's last-mile router: a route truncated in transit (a
+    # blackholed path during route convergence) never arrives, even
+    # though no hop was dropped by ICMP filtering.
+    reached = (
+        truncate_at == len(route)
+        and not isp.blocks_icmp
+        and bool(route)
+        and route[-1] is isp.last_miles.get(client.name)
+    )
     if reached:
         rtt += float(rng.uniform(1.0, 4.0))
         hops.append(Hop(ip=client.ip, rtt_ms=rtt))

@@ -38,7 +38,12 @@ byte (the CI metrics-smoke job enforces this).
 """
 
 from repro.obs.exporters import snapshot_lines, summary_table, write_jsonl
-from repro.obs.harvest import harvest_link, harvest_qdisc, harvest_topology
+from repro.obs.harvest import (
+    harvest_link,
+    harvest_qdisc,
+    harvest_topology,
+    harvest_topology_database,
+)
 from repro.obs.metrics import (
     NULL_SINK,
     MetricsSink,
@@ -61,6 +66,7 @@ __all__ = [
     "harvest_link",
     "harvest_qdisc",
     "harvest_topology",
+    "harvest_topology_database",
     "merge_snapshot",
     "snapshot_lines",
     "span",

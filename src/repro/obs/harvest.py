@@ -71,3 +71,16 @@ def harvest_topology(sink, topology, elapsed):
     """Record every link of a Figure-1 topology after a simulation run."""
     for link in [topology.link_c, *topology.noncommon_links]:
         harvest_link(sink, link, elapsed)
+
+
+def harvest_topology_database(sink, database):
+    """Record a TC topology database's end-of-run size.
+
+    ``mlab.tc.entries_total`` double-books the live counters the
+    database maintains as it is built and pruned: at any harvest point
+    ``entries_total == pairs_found - entries_invalidated`` must hold
+    (``tests/obs`` asserts it), so a drifting pair of counters is
+    caught the same way the TBF drop counters are.
+    """
+    sink.inc("mlab.tc.entries_total", len(database))
+    sink.set_gauge("mlab.tc.destinations", len(database.destinations))

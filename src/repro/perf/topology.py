@@ -1,0 +1,497 @@
+"""Topology/TC performance workload and the ``BENCH_topology.json`` writer.
+
+Four workloads cover the ``repro.inet`` subsystem end to end:
+
+- ``graph``: seeded 1000-AS CAIDA-style graph generation (wall time,
+  fingerprint -- the fingerprint doubles as a determinism check);
+- ``routing``: Gao-Rexford routing-tree construction throughput
+  (routes/s over a sample of destinations);
+- ``tc``: topology construction end to end on a ``PolicyInternet`` --
+  traceroute collection, the table pipeline on the columnar backend,
+  and the ground-truth oracle's precision/recall (gated);
+- ``columnar``: the BigQuery-shaped join+filter over >= 1M synthetic
+  traceroute rows on the row-dict and columnar backends; the speedup
+  is gated, and both backends must produce the *identical* topology
+  database from the same tables;
+- ``dynamics``: a scripted failure/recovery/flip schedule over the TC
+  internet, with the coordinator running mid-window under
+  ``preflight_verify``: stale entries must be detected and healed via
+  ``invalidate``, and no completed test may use a pair the oracle says
+  is unsuitable (wrong-verdict count, gated at zero).
+
+Timing is reported; the gates assert *correctness* ratios (precision,
+recall, speedup, wrong verdicts), not absolute walls.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.perf.bench import _git_commit
+
+TOPOLOGY_SCHEMA_VERSION = 1
+
+#: Pinned workload shape: the acceptance gate runs on this graph.
+GRAPH_SEED = 0
+GRAPH_ASES = 1000
+TC_CLIENT_ISPS = 12
+TC_CLIENTS_PER_ISP = 3
+
+#: The columnar workload tiles a smaller, wider internet (more client
+#: ISPs -> more distinct destinations) up to the target row count.
+COL_CLIENT_ISPS = 25
+COL_CLIENTS_PER_ISP = 4
+COL_TARGET_ROWS = 1_000_000
+COL_TARGET_ROWS_QUICK = 120_000
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def bench_graph():
+    from repro.inet import generate_as_graph
+
+    graph, wall = _timed(lambda: generate_as_graph(GRAPH_SEED, n_ases=GRAPH_ASES))
+    graph_2 = generate_as_graph(GRAPH_SEED, n_ases=GRAPH_ASES)
+    return graph, {
+        "ases": len(graph.asns),
+        "edges": graph.n_edges,
+        "fingerprint": graph.fingerprint(),
+        "deterministic": graph.fingerprint() == graph_2.fingerprint(),
+        "wall_s": wall,
+    }
+
+
+def bench_routing(graph, n_destinations=50):
+    from repro.inet.policy import compute_routes
+
+    destinations = graph.asns[:: max(1, len(graph.asns) // n_destinations)]
+    total = 0
+
+    def run():
+        count = 0
+        for dest in destinations:
+            count += len(compute_routes(graph, dest))
+        return count
+
+    total, wall = _timed(run)
+    return {
+        "destinations": len(destinations),
+        "routes_computed": total,
+        "routes_per_s": total / wall if wall else 0.0,
+        "wall_s": wall,
+    }
+
+
+def _make_internet(graph, n_client_isps, clients_per_isp):
+    from repro.inet import PolicyInternet
+
+    return PolicyInternet(
+        graph=graph,
+        seed=GRAPH_SEED,
+        n_client_isps=n_client_isps,
+        clients_per_isp=clients_per_isp,
+    )
+
+
+def _collect(internet, seed=5):
+    from repro.mlab.traceroute import collect_month
+
+    rng = np.random.default_rng(seed)
+    return collect_month(internet, rng, tests_per_client=len(internet.servers))
+
+
+def bench_tc(graph):
+    """TC end to end on the pinned internet; oracle-scored."""
+    from repro.inet import TopologyOracle
+    from repro.mlab.annotations import AnnotationDatabase
+    from repro.mlab.tables import annotation_table, traceroute_table
+    from repro.mlab.topology_construction import build_topology_from_tables
+
+    internet = _make_internet(graph, TC_CLIENT_ISPS, TC_CLIENTS_PER_ISP)
+    annotations = AnnotationDatabase(internet)
+    records, collect_wall = _timed(lambda: _collect(internet))
+
+    sink = obs.MetricsSink()
+    with obs.use_sink(sink):
+        tables, table_wall = _timed(
+            lambda: (
+                traceroute_table(records, backend="columnar"),
+                annotation_table(annotations, backend="columnar"),
+            )
+        )
+        database, build_wall = _timed(
+            lambda: build_topology_from_tables(*tables)
+        )
+        obs.harvest_topology_database(sink, database)
+    counters = sink.snapshot()["counters"]
+    rows_scanned = counters.get("mlab.tc.rows_scanned", 0)
+    double_entry_ok = counters.get("mlab.tc.entries_total", 0) == (
+        counters.get("mlab.tc.pairs_found", 0)
+        - counters.get("mlab.tc.entries_invalidated", 0)
+    )
+
+    score = TopologyOracle(internet).score(database)
+    return internet, annotations, database, {
+        "clients": len(internet.clients),
+        "servers": len(internet.servers),
+        "traceroutes": len(records),
+        "rows_scanned": rows_scanned,
+        "entries": len(database),
+        "precision": score["precision"],
+        "recall": score["recall"],
+        "rows_per_s": rows_scanned / build_wall if build_wall else 0.0,
+        "double_entry_ok": bool(double_entry_ok),
+        "collect_wall_s": collect_wall,
+        "table_wall_s": table_wall,
+        "build_wall_s": build_wall,
+    }
+
+
+def _tiled_tables(graph, target_rows, backend):
+    """>= ``target_rows`` synthetic traceroute rows on ``backend``.
+
+    Tiles one collected month, rewriting each copy's client IPs (first
+    octet) so every copy is a distinct set of destinations -- same
+    shape BigQuery sees: many clients, shared backbone.
+    """
+    from repro.mlab.annotations import AnnotationDatabase
+    from repro.mlab.tables import (
+        TRACEROUTE_COLUMNS,
+        annotation_table,
+        make_table,
+        traceroute_table,
+    )
+
+    internet = _make_internet(graph, COL_CLIENT_ISPS, COL_CLIENTS_PER_ISP)
+    annotations = AnnotationDatabase(internet)
+    records = _collect(internet)
+    base = traceroute_table(records, backend="row")
+    base_rows = list(base)
+    client_ips = {c.ip for c in internet.clients}
+    copies = max(1, -(-target_rows // len(base_rows)))
+
+    octets = [v for v in range(1, 255) if v != 200][:copies]
+    if len(octets) < copies:
+        raise ValueError("target_rows too large for the octet rewrite space")
+
+    def rewrite(ip, octet):
+        return f"{octet}.{ip.split('.', 1)[1]}" if ip in client_ips else ip
+
+    table = make_table("traceroutes", TRACEROUTE_COLUMNS, backend=backend)
+    n_records = len(records)
+    for copy_index, octet in enumerate(octets):
+        shift = copy_index * n_records
+        table.extend(
+            {
+                **row,
+                "traceroute_id": row["traceroute_id"] + shift,
+                "destination_ip": rewrite(row["destination_ip"], octet),
+                "hop_ip": rewrite(row["hop_ip"], octet),
+                "egress_ip": rewrite(row["egress_ip"], octet),
+            }
+            for row in base_rows
+        )
+
+    ann = annotation_table(annotations, backend=backend)
+    extra = [
+        {"hop_ip": f"{octet}.{c.ip.split('.', 1)[1]}", "asn": c.asn,
+         "country": "ZZ"}
+        for octet in octets
+        for c in internet.clients
+    ]
+    ann.extend(extra)
+    table.materialize()
+    ann.materialize()
+    return table, ann
+
+
+def _join_filter(traceroutes, annotations):
+    """The TC merge: two left joins plus the link-consistency filter."""
+    annotated = traceroutes.join_table(annotations, on="hop_ip", how="left")
+    destination_side = annotations.renamed(
+        {
+            "hop_ip": "destination_ip",
+            "asn": "destination_asn",
+            "country": "destination_country",
+        }
+    )
+    merged = annotated.join_table(
+        destination_side, on="destination_ip", how="left"
+    )
+    consistent = merged.where_columns_equal("hop_ip", "egress_ip")
+    return len(merged), len(consistent)
+
+
+def bench_columnar(graph, target_rows):
+    from repro.mlab.topology_construction import build_topology_from_tables
+
+    results = {}
+    databases = {}
+    for backend in ("row", "columnar"):
+        tables, build_wall = _timed(
+            lambda b=backend: _tiled_tables(graph, target_rows, b)
+        )
+        counts, join_wall = _timed(lambda: _join_filter(*tables))
+        database, tc_wall = _timed(
+            lambda: build_topology_from_tables(*tables)
+        )
+        databases[backend] = database
+        results[backend] = {
+            "rows": len(tables[0]),
+            "merged_rows": counts[0],
+            "consistent_rows": counts[1],
+            "build_wall_s": build_wall,
+            "join_filter_wall_s": join_wall,
+            "tc_wall_s": tc_wall,
+            "entries": len(database),
+        }
+        del tables, database
+
+    row_db, col_db = databases["row"], databases["columnar"]
+    identical = sorted(row_db.entries) == sorted(col_db.entries) and all(
+        row_db.entries[key] == col_db.entries[key] for key in row_db.entries
+    )
+    speedup = (
+        results["row"]["join_filter_wall_s"]
+        / results["columnar"]["join_filter_wall_s"]
+        if results["columnar"]["join_filter_wall_s"]
+        else 0.0
+    )
+    return {
+        "target_rows": target_rows,
+        "backends": results,
+        "join_speedup": speedup,
+        "identical_entries": bool(identical),
+    }
+
+
+def bench_dynamics(internet, annotations, database, quick):
+    """Scripted route dynamics + the coordinator under preflight."""
+    from repro.core.coordinator import CoordinationStatus, WeHeYCoordinator
+    from repro.faults import RetryPolicy
+    from repro.inet import RouteDynamics, TopologyOracle, generate_schedule
+    from repro.experiments.scenarios import ScenarioConfig
+    from repro.mlab.verification import TopologyVerifier
+
+    oracle = TopologyOracle(internet)
+    events = generate_schedule(
+        internet.graph,
+        GRAPH_SEED + 1,
+        n_failures=1 if quick else 2,
+        n_flips=0 if quick else 1,
+        targets=internet.isp_asns,
+    )
+    internet.attach_dynamics(RouteDynamics(events))
+
+    rng = np.random.default_rng(7)
+    scenario = ScenarioConfig(
+        app="zoom",
+        limiter="common",
+        duration=10.0 if quick else 20.0,
+        fidelity="hybrid",
+    )
+    verifier = TopologyVerifier(
+        internet, annotations, rng, route_change_probability=0.0
+    )
+    tdiff = np.random.default_rng(9).normal(0.0, 0.08, 80)
+    coordinator = WeHeYCoordinator(
+        internet,
+        database,
+        verifier,
+        scenario,
+        rng,
+        tdiff,
+        retry_policy=RetryPolicy(max_attempts=3, base_backoff_s=0.0),
+        preflight_verify=True,
+    )
+
+    stale_detected = 0
+    wrong_verdicts = 0
+    tests_run = 0
+    max_clients = 2 if quick else 4
+    entries_before = len(database)
+    for event in events:
+        internet.advance_to(event.time + 1e-6)
+        stale = oracle.stale_entries(database)
+        stale_detected += len(stale)
+        # Run coordinated tests for the clients the event touched --
+        # mid-window, so preflight verification sees the stale routes.
+        client_names = []
+        for _entry, client_name in stale:
+            if client_name not in client_names:
+                client_names.append(client_name)
+        for client_name in client_names[:max_clients]:
+            report = coordinator.run_test(client_name)
+            tests_run += 1
+            if report.status is CoordinationStatus.COMPLETED:
+                pair_ok = oracle.pair_suitable(
+                    report.server_pair[0], report.server_pair[1], client_name
+                )
+                wrong_verdicts += not pair_ok
+    horizon = max(e.time + e.convergence_s for e in events) + 1.0
+    internet.advance_to(horizon)
+    # Heal whatever mid-window testing did not touch.
+    healed_by_coordinator = (
+        coordinator.telemetry["preflight_stale"]
+        + coordinator.telemetry["topology_invalidated"]
+    )
+    residual = 0
+    for entry, _client in oracle.stale_entries(database):
+        residual += bool(database.invalidate(entry))
+    post = oracle.score(database)
+    return {
+        "events": len(events),
+        "path_changes": internet.telemetry["path_changes"],
+        "stale_detected": stale_detected,
+        "healed_by_coordinator": healed_by_coordinator,
+        "healed_residual": residual,
+        "entries_before": entries_before,
+        "entries_after": len(database),
+        "tests_run": tests_run,
+        "completed": coordinator.telemetry.get("attempts", 0),
+        "wrong_verdicts": wrong_verdicts,
+        "post_precision": post["precision"],
+        "post_recall": post["recall"],
+        "converged": bool(internet.converged),
+    }
+
+
+def run(quick=False, skip_dynamics=False, target_rows=None):
+    from repro.inet import generate_as_graph  # noqa: F401 (import check)
+
+    graph, graph_stats = bench_graph()
+    routing = bench_routing(graph)
+    internet, annotations, database, tc = bench_tc(graph)
+    rows = target_rows or (COL_TARGET_ROWS_QUICK if quick else COL_TARGET_ROWS)
+    columnar = bench_columnar(graph, rows)
+    workloads = {
+        "graph": graph_stats,
+        "routing": routing,
+        "tc": tc,
+        "columnar": columnar,
+    }
+    if not skip_dynamics:
+        workloads["dynamics"] = bench_dynamics(
+            internet, annotations, database, quick
+        )
+    return {
+        "schema_version": TOPOLOGY_SCHEMA_VERSION,
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": bool(quick),
+        "workloads": workloads,
+    }
+
+
+def check_gates(report, args):
+    """Evaluate the acceptance gates; returns a list of failures."""
+    failures = []
+    workloads = report["workloads"]
+    tc = workloads["tc"]
+    if tc["precision"] < args.min_precision:
+        failures.append(
+            f"tc precision {tc['precision']:.3f} < {args.min_precision}"
+        )
+    if tc["recall"] < args.min_recall:
+        failures.append(f"tc recall {tc['recall']:.3f} < {args.min_recall}")
+    if not tc["double_entry_ok"]:
+        failures.append("tc counter double-entry check failed")
+    if not workloads["graph"]["deterministic"]:
+        failures.append("graph generation is not deterministic")
+    columnar = workloads["columnar"]
+    if not columnar["identical_entries"]:
+        failures.append("row and columnar backends disagree on TC entries")
+    if columnar["join_speedup"] < args.min_join_speedup:
+        failures.append(
+            f"join speedup {columnar['join_speedup']:.1f}x < "
+            f"{args.min_join_speedup}x"
+        )
+    dynamics = workloads.get("dynamics")
+    if dynamics is not None:
+        if dynamics["wrong_verdicts"] > args.max_wrong_verdicts:
+            failures.append(
+                f"{dynamics['wrong_verdicts']} wrong-verdict pair selections "
+                f"(max {args.max_wrong_verdicts})"
+            )
+        if dynamics["stale_detected"] == 0:
+            failures.append("dynamics produced no stale entries to heal")
+        if dynamics["post_precision"] < args.min_precision:
+            failures.append(
+                f"post-dynamics precision {dynamics['post_precision']:.3f} "
+                f"< {args.min_precision}"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.topology",
+        description="repro.inet topology/TC benchmark and acceptance gates",
+    )
+    parser.add_argument("--out", default="BENCH_topology.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller columnar/coordinator legs (CI smoke)")
+    parser.add_argument("--rows", type=int, default=None,
+                        help="columnar workload row target (overrides --quick)")
+    parser.add_argument("--skip-dynamics", action="store_true")
+    parser.add_argument("--min-precision", type=float, default=1.0)
+    parser.add_argument("--min-recall", type=float, default=0.9)
+    parser.add_argument("--min-join-speedup", type=float, default=None,
+                        help="default 10.0 at the full 1M-row scale, "
+                             "4.0 for the --quick smoke")
+    parser.add_argument("--max-wrong-verdicts", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.min_join_speedup is None:
+        # The acceptance gate is defined at >= 1M rows, where the row
+        # backend's per-row dict churn dominates; the quick smoke runs
+        # ~124k rows where constant costs compress the ratio, so it
+        # gates at a proportionally lower bar.
+        args.min_join_speedup = 4.0 if (args.quick and args.rows is None) \
+            else 10.0
+
+    report = run(
+        quick=args.quick,
+        skip_dynamics=args.skip_dynamics,
+        target_rows=args.rows,
+    )
+    failures = check_gates(report, args)
+    report["gates_ok"] = not failures
+    report["gate_failures"] = failures
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    workloads = report["workloads"]
+    print(f"graph     : {workloads['graph']['ases']} ASes in "
+          f"{workloads['graph']['wall_s']:.2f}s")
+    print(f"routing   : {workloads['routing']['routes_per_s']:.0f} routes/s")
+    print(f"tc        : precision {workloads['tc']['precision']:.3f} "
+          f"recall {workloads['tc']['recall']:.3f} "
+          f"({workloads['tc']['rows_per_s']:.0f} rows/s)")
+    print(f"columnar  : {workloads['columnar']['join_speedup']:.1f}x join "
+          f"speedup over {workloads['columnar']['backends']['row']['rows']} rows")
+    if "dynamics" in workloads:
+        dyn = workloads["dynamics"]
+        print(f"dynamics  : {dyn['path_changes']} path changes, "
+              f"{dyn['stale_detected']} stale detected, "
+              f"{dyn['healed_by_coordinator']}+{dyn['healed_residual']} healed, "
+              f"{dyn['wrong_verdicts']} wrong verdicts")
+    print(f"report    : {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Seeded AS-graph generator: structure, determinism, link state."""
+
+import pytest
+
+from repro.inet import generate_as_graph
+from repro.inet.asgraph import CUSTOMER_PROVIDER, PEER
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_as_graph(3, n_ases=300)
+
+
+class TestStructure:
+    def test_requested_size(self, graph):
+        assert len(graph.asns) >= 300
+
+    def test_tier1_clique_fully_peered(self, graph):
+        tier1 = [a for a in graph.asns if graph.tiers[a] == "tier1"]
+        assert len(tier1) >= 3
+        for a in tier1:
+            for b in tier1:
+                if a != b:
+                    assert graph.relationship(a, b)[0] == PEER
+
+    def test_tier1_has_no_providers(self, graph):
+        for asn in graph.asns:
+            if graph.tiers[asn] == "tier1":
+                assert graph.providers(asn) == ()
+
+    def test_everyone_else_has_a_provider(self, graph):
+        for asn in graph.asns:
+            if graph.tiers[asn] != "tier1":
+                assert len(graph.providers(asn)) >= 1
+
+    def test_stubs_have_no_customers(self, graph):
+        for asn in graph.asns:
+            if graph.tiers[asn] == "stub":
+                assert graph.customers(asn) == ()
+
+    def test_degree_distribution_is_skewed(self, graph):
+        degrees = sorted(graph.degree(a) for a in graph.asns)
+        median = degrees[len(degrees) // 2]
+        assert degrees[-1] >= 8 * max(median, 1)
+
+    def test_relationship_orientation(self, graph):
+        for asn in graph.asns:
+            for provider in graph.providers(asn):
+                assert graph.relationship(asn, provider) == (CUSTOMER_PROVIDER, asn, provider)
+                assert asn in graph.customers(provider)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        a = generate_as_graph(11, n_ases=200)
+        b = generate_as_graph(11, n_ases=200)
+        assert a.serialize() == b.serialize()
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_seeds_differ(self):
+        a = generate_as_graph(11, n_ases=200)
+        b = generate_as_graph(12, n_ases=200)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_fingerprint_ignores_runtime_link_state(self, graph):
+        before = graph.fingerprint()
+        asn = next(a for a in graph.asns if graph.providers(a))
+        provider = graph.providers(asn)[0]
+        graph.link_down(asn, provider)
+        try:
+            assert graph.fingerprint() == before
+        finally:
+            graph.link_up(asn, provider)
+
+
+class TestLinkState:
+    def test_down_link_leaves_adjacency(self):
+        graph = generate_as_graph(5, n_ases=120)
+        asn = next(a for a in graph.asns if graph.providers(a))
+        provider = graph.providers(asn)[0]
+        graph.link_down(asn, provider)
+        assert provider not in graph.providers(asn)
+        assert asn not in graph.customers(provider)
+        assert not graph.link_is_up(asn, provider)
+        assert graph.has_edge(asn, provider)  # the edge itself persists
+        graph.link_up(asn, provider)
+        assert provider in graph.providers(asn)
+        assert graph.link_is_up(asn, provider)
+        assert graph.down_links == ()

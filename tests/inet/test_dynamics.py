@@ -1,0 +1,117 @@
+"""Route-dynamics schedules: determinism, shape, graph application."""
+
+import pytest
+
+from repro.inet import RouteDynamics, generate_as_graph, generate_schedule
+from repro.inet.dynamics import (
+    LINK_DOWN,
+    LINK_UP,
+    POLICY_FLIP,
+    convergence_fraction,
+    serialize_schedule,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_as_graph(4, n_ases=200)
+
+
+class TestSchedule:
+    def test_same_seed_byte_identical(self, graph):
+        a = generate_schedule(graph, 17)
+        b = generate_schedule(graph, 17)
+        assert serialize_schedule(a) == serialize_schedule(b)
+
+    def test_different_seed_differs(self, graph):
+        a = generate_schedule(graph, 17)
+        b = generate_schedule(graph, 18)
+        assert serialize_schedule(a) != serialize_schedule(b)
+
+    def test_every_failure_has_a_recovery(self, graph):
+        events = generate_schedule(graph, 3, n_failures=3, n_flips=0)
+        downs = [(e.a, e.b) for e in events if e.kind == LINK_DOWN]
+        ups = [(e.a, e.b) for e in events if e.kind == LINK_UP]
+        assert sorted(downs) == sorted(ups)
+        for down in (e for e in events if e.kind == LINK_DOWN):
+            up = next(e for e in events
+                      if e.kind == LINK_UP and (e.a, e.b) == (down.a, down.b))
+            assert up.time > down.time
+
+    def test_failures_target_multihomed_stubs(self, graph):
+        events = generate_schedule(graph, 3, n_failures=3, n_flips=1)
+        for event in events:
+            if event.kind in (LINK_DOWN, LINK_UP):
+                assert len(graph.providers(event.a)) >= 2
+                assert event.b in graph.providers(event.a)
+            else:
+                assert event.kind == POLICY_FLIP
+                assert event.b in graph.providers(event.a)
+
+    def test_targets_restrict_perturbed_stubs(self, graph):
+        from repro.inet.dynamics import _flippable_stubs
+
+        chosen = _flippable_stubs(graph)[:3]
+        events = generate_schedule(graph, 3, n_failures=2, n_flips=1,
+                                   targets=chosen)
+        assert all(e.a in chosen for e in events)
+
+    def test_ordered_by_time(self, graph):
+        events = generate_schedule(graph, 9, n_failures=3, n_flips=2)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_no_eligible_targets_raises(self, graph):
+        with pytest.raises(ValueError):
+            generate_schedule(graph, 1, targets=[-1])
+
+
+class TestConvergenceFraction:
+    def test_bounded_and_deterministic(self):
+        for src, dst, idx in [(10, 5000, 0), (11, 5001, 3), (100, 5002, 7)]:
+            f = convergence_fraction(src, dst, idx)
+            assert 0.15 <= f < 1.0
+            assert f == convergence_fraction(src, dst, idx)
+
+    def test_varies_per_pair(self):
+        values = {convergence_fraction(10, 5000 + i, 0) for i in range(20)}
+        assert len(values) > 15
+
+
+class TestRouteDynamics:
+    def test_apply_toggles_link_state(self, graph):
+        events = generate_schedule(graph, 6, n_failures=1, n_flips=0)
+        dynamics = RouteDynamics(events)
+        down = next(e for e in events if e.kind == LINK_DOWN)
+        up = next(e for e in events if e.kind == LINK_UP)
+
+        assert [e.kind for e in dynamics.due_events(down.time + 0.1)] == \
+            [LINK_DOWN]
+        dynamics.apply_to_graph(graph, down)
+        assert not graph.link_is_up(down.a, down.b)
+
+        assert [e.kind for e in dynamics.due_events(up.time + 0.1)] == \
+            [LINK_UP]
+        dynamics.apply_to_graph(graph, up)
+        assert graph.link_is_up(down.a, down.b)
+        assert dynamics.pending == ()
+
+    def test_due_events_cursor_does_not_replay(self, graph):
+        events = generate_schedule(graph, 6, n_failures=2, n_flips=1)
+        dynamics = RouteDynamics(events)
+        horizon = max(e.time for e in events) + 1.0
+        first = dynamics.due_events(horizon)
+        assert [e.serialize() for e in first] == \
+            [e.serialize() for e in events]
+        assert list(dynamics.due_events(horizon + 100.0)) == []
+
+    def test_policy_flip_sets_provider_pref(self, graph):
+        events = generate_schedule(graph, 8, n_failures=0, n_flips=1)
+        dynamics = RouteDynamics(events)
+        flip = events[0]
+        assert flip.kind == POLICY_FLIP
+        dynamics.apply_to_graph(graph, flip)
+        try:
+            assert graph.provider_pref[flip.a] == flip.b
+        finally:
+            graph.provider_pref.pop(flip.a, None)

@@ -46,6 +46,23 @@ class TestCommands:
         assert "complete fraction" in out
         assert "topology-db entries" in out
 
+    def test_topology_command_policy_internet(self, capsys):
+        code = main(["topology", "--ases", "200", "--isps", "4",
+                     "--clients", "2", "--seed", "1",
+                     "--backend", "columnar"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AS graph" in out
+        assert "oracle precision" in out
+
+    def test_topology_command_dynamics(self, capsys):
+        code = main(["topology", "--ases", "200", "--isps", "4",
+                     "--clients", "2", "--seed", "1",
+                     "--dynamics-events", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stale entries" in out
+
     def test_localize_command_detects_common_limiter(self, capsys):
         code = main(
             ["localize", "--app", "zoom", "--limiter", "common",
