@@ -99,6 +99,8 @@ class SweepRequest:
         merge_flows=False,
         fault_profile=None,
         fidelity=None,
+        shaper=None,
+        shaper_params=None,
         jobs=None,
         store=None,
         no_cache=False,
@@ -116,11 +118,20 @@ class SweepRequest:
         failures seeded from each cell's own ``config.seed``.
         ``fidelity`` (``"packet"``/``"hybrid"``), when given, overrides
         every config's own fidelity field -- the sweep-wide knob behind
-        ``repro sweep --fidelity``.
+        ``repro sweep --fidelity``.  ``shaper`` / ``shaper_params``
+        likewise override the mechanism axis on every config (the knob
+        behind ``repro sweep --shaper``).
         """
         configs = list(configs)
         if fidelity is not None:
             configs = [config.with_(fidelity=fidelity) for config in configs]
+        if shaper is not None:
+            overrides = {"shaper": shaper}
+            if shaper_params is not None:
+                overrides["shaper_params"] = tuple(shaper_params)
+            configs = [config.with_(**overrides) for config in configs]
+        elif shaper_params is not None:
+            raise ValueError("shaper_params requires a shaper")
         return cls(
             kind="detection",
             params={

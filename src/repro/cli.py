@@ -17,6 +17,8 @@ Examples::
     python -m repro.cli sweep --limiter noncommon --seeds 5 --jobs 4
     python -m repro.cli sweep --seeds 8 --store .repro-store --resume --json
     python -m repro.cli sweep --seeds 5 --metrics metrics.jsonl
+    python -m repro.cli sweep --shaper red --shaper-params max_p=0.2 --seeds 3
+    python -m repro.cli qdisc --build
 """
 
 import argparse
@@ -57,9 +59,50 @@ def _add_scenario_arguments(parser):
              "packet; 'hybrid' uses the calibrated fluid background "
              "model (5-10x faster cells, verdict-equivalent)",
     )
+    parser.add_argument(
+        "--shaper", default=None, metavar="NAME",
+        help="rate-limiting mechanism deployed at the --limiter "
+             "placement ('repro qdisc' lists them: red, codel, pie, "
+             "dual_tbf, conditional, ecn, ...); default: the paper's "
+             "token bucket",
+    )
+    parser.add_argument(
+        "--shaper-params", default=None, metavar="K=V[,K=V...]",
+        help="mechanism parameters, e.g. 'max_p=0.2,ecn=true' "
+             "(requires --shaper)",
+    )
+
+
+def _parse_shaper_params(text):
+    """``'a=1,b=true,c=x'`` -> ``(("a", 1), ("b", True), ("c", "x"))``."""
+    params = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(
+                f"bad --shaper-params item {item!r} (expected KEY=VALUE)"
+            )
+        key, raw = (part.strip() for part in item.split("=", 1))
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        params.append((key, value))
+    return tuple(params)
 
 
 def _scenario_from(args):
+    shaper_params = ()
+    if getattr(args, "shaper_params", None):
+        shaper_params = _parse_shaper_params(args.shaper_params)
     return ScenarioConfig(
         app=args.app,
         limiter=None if args.limiter == "none" else args.limiter,
@@ -68,11 +111,17 @@ def _scenario_from(args):
         duration=args.duration,
         seed=args.seed,
         fidelity=args.fidelity,
+        shaper=getattr(args, "shaper", None),
+        shaper_params=shaper_params,
     )
 
 
 def cmd_localize(args):
-    config = _scenario_from(args)
+    try:
+        config = _scenario_from(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     injector = None
     if args.fault_profile and args.fault_profile != "none":
         injector = FaultInjector.from_spec(args.fault_profile, seed=args.seed)
@@ -236,7 +285,11 @@ def cmd_sweep(args):
 
     detector = {"loss_trend": LossTrendCorrelation()}
     common_exists = args.limiter in ("common", "perflow")
-    configs = list(seed_sweep(_scenario_from(args), range(args.seeds)))
+    try:
+        configs = list(seed_sweep(_scenario_from(args), range(args.seeds)))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     fault_profile = (
         args.fault_profile
         if getattr(args, "fault_profile", "none") not in (None, "none")
@@ -335,6 +388,58 @@ def cmd_sweep(args):
     if result.failures:
         return EXIT_QUARANTINED
     return 0
+
+
+def cmd_qdisc(args):
+    """List registered qdisc mechanisms; ``--build`` smoke-builds each."""
+    from repro.netsim.qdisc import (
+        make_qdisc,
+        qdisc_spec,
+        registered_qdiscs,
+        supports_fidelity,
+    )
+
+    names = registered_qdiscs()
+    print(f"{'name':<12} {'fidelities':<14} {'seeded':<7} description")
+    for name in names:
+        spec = qdisc_spec(name)
+        fidelities = ",".join(
+            fid for fid in ("packet", "hybrid") if supports_fidelity(name, fid)
+        )
+        seeded = "yes" if spec.seeded else "no"
+        print(f"{name:<12} {fidelities:<14} {seeded:<7} {spec.doc}")
+    if not args.build:
+        return 0
+    failures = 0
+    for name in names:
+        for fidelity in ("packet", "hybrid"):
+            if not supports_fidelity(name, fidelity):
+                continue
+            kwargs = (
+                {"capacity_bytes": 100_000}
+                if name == "droptail"
+                else {"rate_bps": 2e6}
+            )
+            try:
+                qdisc = make_qdisc(name, fidelity=fidelity, **kwargs)
+                ok = (
+                    len(qdisc) == 0
+                    and qdisc.backlog_bytes == 0
+                    and callable(qdisc.enqueue)
+                    and callable(qdisc.dequeue)
+                )
+            except Exception as exc:  # smoke test: any failure is a report
+                print(f"build {name}/{fidelity}: FAILED ({exc})",
+                      file=sys.stderr)
+                failures += 1
+                continue
+            if not ok:
+                print(f"build {name}/{fidelity}: FAILED (bad empty state)",
+                      file=sys.stderr)
+                failures += 1
+            else:
+                print(f"build {name}/{fidelity}: ok")
+    return 1 if failures else 0
 
 
 def cmd_serve(args):
@@ -490,6 +595,17 @@ def build_parser():
              "snapshot as JSONL (never changes sweep records)",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    qdisc = subparsers.add_parser(
+        "qdisc",
+        help="list registered shaper mechanisms (the qdisc registry)",
+    )
+    qdisc.add_argument(
+        "--build", action="store_true",
+        help="smoke-build every mechanism at every supported fidelity "
+             "(exit 1 on any failure); the CI registry-smoke step",
+    )
+    qdisc.set_defaults(func=cmd_qdisc)
 
     serve = subparsers.add_parser(
         "serve",

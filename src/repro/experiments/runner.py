@@ -65,6 +65,12 @@ class _Environment:
             queue_factor=config.queue_factor,
             noncommon_bandwidth_bps=config.noncommon_bandwidth_bps,
             fidelity=getattr(config, "fidelity", "packet"),
+            shaper=getattr(config, "shaper", None),
+            shaper_params=tuple(getattr(config, "shaper_params", ())),
+            # Seeded mechanisms (RED/PIE draws) derive their device
+            # seeds from the scenario seed, so a cell's shaper behaviour
+            # depends only on the cell.
+            shaper_seed=config.seed,
         )
         self.topology = FigureOneTopology(self.sim, topo_config)
         self._attach_background()
@@ -209,6 +215,8 @@ class NetsimReplayService:
         # simultaneous replays appear to belong to the same flow, so a
         # per-flow policer assigns them the same bucket.
         self.merge_flows = merge_flows
+        self.last_simultaneous_handles = None
+        self.last_environment = None
 
     def _new_environment(self):
         return _Environment(self.config, self._seed_seq.spawn(1)[0])
@@ -265,6 +273,11 @@ class NetsimReplayService:
                 handle.sender.pacing = pacing
             handles.append(handle)
         env.run()
+        # Kept for callers that need raw capture access after the run
+        # (the shaper fingerprinter reads windowed loss/mark series the
+        # summary statistics below throw away).
+        self.last_simultaneous_handles = handles
+        self.last_environment = env
         estimator = env.loss_estimator()
         h1, h2 = handles
         result = SimultaneousRunResult(

@@ -53,6 +53,17 @@ class ScenarioConfig:
     #: replay packets and ACKs remain exact DES events).  Part of the
     #: store cache key -- records from the two fidelities never alias.
     fidelity: str = "packet"
+    #: rate-limiting *mechanism* deployed at the ``limiter`` placement
+    #: (orthogonal knobs: ``limiter`` says where, ``shaper`` says what).
+    #: None means the paper's default token-bucket device; any name from
+    #: :func:`repro.netsim.qdisc.registered_qdiscs` works ("red",
+    #: "codel", "pie", "dual_tbf", "conditional", "ecn", ...).  Part of
+    #: the cache key when set; omitted at the default so pre-shaper
+    #: records keep their keys.
+    shaper: str = None
+    #: mechanism parameters as a tuple of ``(name, value)`` pairs
+    #: (hashable, so configs stay frozen/hashable).
+    shaper_params: tuple = ()
 
     def __post_init__(self):
         if self.app not in APP_SPECS:
@@ -67,6 +78,19 @@ class ScenarioConfig:
             raise ValueError("background_share must be in [0, 1]")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if self.shaper_params and self.shaper is None:
+            raise ValueError("shaper_params requires a shaper")
+        if self.shaper is not None:
+            if self.limiter is None:
+                raise ValueError("shaper requires a limiter placement")
+            from repro.netsim.qdisc import qdisc_spec
+
+            qdisc_spec(self.shaper)  # raises on unknown mechanisms
+            object.__setattr__(
+                self,
+                "shaper_params",
+                tuple(tuple(pair) for pair in self.shaper_params),
+            )
 
     @property
     def protocol(self):

@@ -56,6 +56,11 @@ class IspModel:
     #: (None = always on).  ISP5's conditional policy.
     trigger_bytes: float = None
     trigger_jitter: float = 0.0
+    #: rate-limiting mechanism deployed on the common link (None = the
+    #: paper's token-bucket policer; any registered qdisc name works).
+    shaper: str = None
+    #: mechanism parameters as ``(name, value)`` pairs.
+    shaper_params: tuple = ()
 
 
 #: The five ISPs of Table 1 (anonymized in the paper; parameters are
@@ -69,6 +74,42 @@ WILD_ISPS = {
         "ISP5", 2.5e6, 0.5, 0.050, trigger_bytes=12e6, trigger_jitter=0.3
     ),
 }
+
+#: Hypothetical ISPs deploying the wider shaper zoo (AQM, two-rate,
+#: qdisc-level conditional throttling).  Kept separate from the
+#: Table-1 five so the paper-reproduction sweeps are unchanged;
+#: :func:`isp_model` looks names up across both.
+ZOO_ISPS = {
+    "ZOO-RED": IspModel("ZOO-RED", 2.5e6, 0.5, 0.045, shaper="red"),
+    "ZOO-CODEL": IspModel("ZOO-CODEL", 3.0e6, 0.5, 0.050, shaper="codel"),
+    "ZOO-PIE": IspModel("ZOO-PIE", 2.5e6, 0.5, 0.045, shaper="pie"),
+    "ZOO-ECN": IspModel("ZOO-ECN", 2.5e6, 0.5, 0.045, shaper="ecn"),
+    "ZOO-DUAL": IspModel(
+        "ZOO-DUAL",
+        2.0e6,
+        0.5,
+        0.050,
+        shaper="dual_tbf",
+        shaper_params=(("peak_factor", 2.0), ("boost_bytes", 3_000_000)),
+    ),
+    "ZOO-COND": IspModel(
+        "ZOO-COND",
+        2.5e6,
+        0.5,
+        0.050,
+        shaper="conditional",
+        shaper_params=(("trigger_bytes", 8e6),),
+    ),
+}
+
+
+def isp_model(isp_name):
+    """Look up an ISP model across the Table-1 five and the zoo."""
+    model = WILD_ISPS.get(isp_name) or ZOO_ISPS.get(isp_name)
+    if model is None:
+        known = ", ".join([*WILD_ISPS, *ZOO_ISPS])
+        raise KeyError(f"unknown ISP {isp_name!r} (known: {known})")
+    return model
 
 
 class DelayedTriggerClassifier:
@@ -114,6 +155,7 @@ class WildReplayService:
     ):
         self.isp = isp
         self.app = app
+        self.seed = seed
         self.duration = duration
         self.sanity_check = sanity_check
         self.fidelity = fidelity
@@ -136,6 +178,9 @@ class WildReplayService:
             queue_factor=self.isp.queue_factor,
             extra_server_rtts=(self.isp.rtt * 1.2,),
             fidelity=self.fidelity,
+            shaper=self.isp.shaper,
+            shaper_params=tuple(self.isp.shaper_params),
+            shaper_seed=self.seed,
         )
         topology = FigureOneTopology(sim, config)
         if self.isp.trigger_bytes is not None:
@@ -240,7 +285,7 @@ def run_wild_test(
     Basic tests should localize (per-client throttling); sanity-check
     tests should not.
     """
-    isp = WILD_ISPS[isp_name]
+    isp = isp_model(isp_name)
     service = WildReplayService(
         isp, app, seed=seed, sanity_check=sanity_check, fidelity=fidelity
     )

@@ -20,14 +20,28 @@ class FlowCapture:
     def __init__(self):
         self.times = []
         self.bytes = []
+        self.mark_times = []  # arrivals carrying an ECN congestion mark
 
-    def on_arrival(self, now, nbytes):
+    def on_arrival(self, now, nbytes, marked=False):
         self.times.append(now)
         self.bytes.append(nbytes)
+        if marked:
+            self.mark_times.append(now)
 
     @property
     def total_bytes(self):
         return float(sum(self.bytes))
+
+    @property
+    def marks(self):
+        """Number of ECN-marked arrivals seen so far."""
+        return len(self.mark_times)
+
+    def mark_fraction(self):
+        """Fraction of arrivals carrying an ECN mark (0.0 when empty)."""
+        if not self.times:
+            return 0.0
+        return len(self.mark_times) / len(self.times)
 
     def duration(self):
         if not self.times:

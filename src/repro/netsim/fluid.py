@@ -67,6 +67,7 @@ from repro.netsim.background import (
     PACKET_SIZE_MIX,
     _Ar1Component,
 )
+from repro.netsim.qdisc import Qdisc, register, standard_sizing
 from repro.netsim.queues import DropTailQueue
 from repro.netsim.token_bucket import DualClassQdisc, _dscp_classifier
 from repro.obs import metrics as _obs
@@ -230,6 +231,7 @@ class FluidDropTailQueue(DropTailQueue):
         self._advance(now)
         if self._bytes + self._v + packet.size > self.capacity_bytes:
             self.drops += 1
+            self.drops_bytes += packet.size
             if _obs.ENABLED:
                 _obs.SINK.inc("netsim.queue.drops")
                 _obs.SINK.observe(
@@ -264,7 +266,7 @@ class FluidDropTailQueue(DropTailQueue):
         return packet, None
 
 
-class FluidTokenBucketFilter:
+class FluidTokenBucketFilter(Qdisc):
     """A token bucket whose tokens are also depleted by a fluid share.
 
     Mirrors :class:`~repro.netsim.token_bucket.TokenBucketFilter`'s
@@ -321,6 +323,10 @@ class FluidTokenBucketFilter:
     @property
     def drops(self):
         return self._queue.drops
+
+    @property
+    def drops_bytes(self):
+        return self._queue.drops_bytes
 
     @property
     def enqueued(self):
@@ -427,6 +433,7 @@ class FluidTokenBucketFilter:
             # and the harvested ``netsim.tbf.drops_total`` stay one
             # accounting path, exactly as in the packet-mode TBF.
             self._queue.drops += 1
+            self._queue.drops_bytes += packet.size
             if _obs.ENABLED:
                 _obs.SINK.inc("netsim.queue.drops")
                 _obs.SINK.observe(
@@ -492,7 +499,187 @@ class FluidDualClassQdisc(DualClassQdisc):
         return _merge_stats(self.tbf.fluid_stats(), self.fifo.fluid_stats())
 
 
-class FluidPerFlowQdisc:
+class FluidDualTokenBucketFilter(FluidTokenBucketFilter):
+    """Fluid twin of :class:`~repro.netsim.shapers.DualTokenBucketFilter`.
+
+    A second (peak-rate) bucket gates both the foreground packets and
+    the fluid background: the window's service pool exposed to the base
+    integration is the *minimum* of the committed and peak pools, and
+    both buckets are settled from the bytes actually served.
+    """
+
+    __slots__ = ("peak_rate_bps", "peak_burst_bytes", "_peak_tokens", "peak_deferrals")
+
+    def __init__(self, rate_bps, burst_bytes, limit_bytes, peak_rate_bps, peak_burst_bytes):
+        super().__init__(rate_bps, burst_bytes, limit_bytes)
+        if peak_rate_bps <= rate_bps:
+            raise ValueError("peak rate must exceed the committed rate")
+        if peak_burst_bytes <= 0:
+            raise ValueError("peak burst must be positive")
+        self.peak_rate_bps = peak_rate_bps
+        self.peak_burst_bytes = peak_burst_bytes
+        self._peak_tokens = float(peak_burst_bytes)
+        self.peak_deferrals = 0
+
+    def shaper_stats(self):
+        return {"tbf.peak_deferrals_total": self.peak_deferrals}
+
+    def _advance(self, now):
+        dt = now - self._last_update
+        if dt <= 0.0:
+            return
+        pool_c = self._tokens + (self.rate_bps / 8.0) * dt
+        pool_p = self._peak_tokens + (self.peak_rate_bps / 8.0) * dt
+        served_before = self.bg_bytes_served
+        # Expose min(committed, peak) to the base integration by
+        # pre-debiting the committed bucket; the base then recomputes
+        # its pool as exactly that minimum.
+        if pool_p < pool_c:
+            self._tokens -= pool_c - pool_p
+        super()._advance(now)
+        used = self.bg_bytes_served - served_before
+        cap_c = float(self.burst_bytes)
+        cap_p = float(self.peak_burst_bytes)
+        left_c = pool_c - used
+        left_p = pool_p - used
+        self._tokens = left_c if left_c < cap_c else cap_c
+        self._peak_tokens = left_p if left_p < cap_p else cap_p
+
+    def dequeue(self, now):
+        self._advance(now)
+        head = self._queue.peek()
+        if head is None:
+            return None, None
+        size = head.size
+        ahead = self._marks[0] - (self._bg_pos - self._v)
+        if ahead < 0.0:
+            ahead = 0.0
+        tokens = self._tokens
+        peak = self._peak_tokens
+        if ahead <= _EPS_BYTES and tokens + 1e-9 >= size and peak + 1e-9 >= size:
+            self._tokens = tokens - size if tokens > size else 0.0
+            self._peak_tokens = peak - size if peak > size else 0.0
+            self._marks.popleft()
+            return self._queue.dequeue(now)
+        self.fluid_deferrals += 1
+        if peak + 1e-9 < size:
+            self.peak_deferrals += 1
+            if _obs.ENABLED:
+                _obs.SINK.inc("netsim.tbf.peak_deferrals")
+        if _obs.ENABLED:
+            _obs.SINK.inc("netsim.tbf.deferrals")
+            _obs.SINK.inc("netsim.fluid.deferrals")
+            _obs.SINK.observe(
+                "netsim.tbf.token_debt_bytes",
+                max(ahead + size - tokens, size - peak, 0.0),
+            )
+            _obs.SINK.observe(
+                "netsim.tbf.occupancy_at_deferral_bytes",
+                self._queue.backlog_bytes + self._v,
+            )
+        need_c = ahead + size - tokens
+        wait_c = need_c * 8.0 / self.rate_bps if need_c > 0.0 else 0.0
+        need_p = ahead + size - peak
+        wait_p = need_p * 8.0 / self.peak_rate_bps if need_p > 0.0 else 0.0
+        return None, now + max(wait_c, wait_p) + _WAKE_GUARD
+
+
+class FluidConditionalTokenBucket(FluidTokenBucketFilter):
+    """Fluid twin of :class:`~repro.netsim.shapers.ConditionalTokenBucket`.
+
+    Pre-trigger, the class is unthrottled: fluid background drains
+    completely each window (link serialization is the outer FIFO's job)
+    and real packets pass straight through; marked bytes -- fluid and
+    packet alike -- count toward the byte trigger.  On tripping, the
+    bucket starts full and the base fluid TBF takes over.
+    """
+
+    __slots__ = (
+        "trigger_bytes",
+        "trigger_after_s",
+        "seen_bytes",
+        "tripped",
+        "tripped_at",
+    )
+
+    def __init__(
+        self,
+        rate_bps,
+        burst_bytes,
+        limit_bytes,
+        trigger_bytes=None,
+        trigger_after_s=None,
+    ):
+        super().__init__(rate_bps, burst_bytes, limit_bytes)
+        if trigger_bytes is None and trigger_after_s is None:
+            raise ValueError(
+                "conditional shaper needs trigger_bytes and/or trigger_after_s"
+            )
+        self.trigger_bytes = trigger_bytes
+        self.trigger_after_s = trigger_after_s
+        self.seen_bytes = 0.0
+        self.tripped = False
+        self.tripped_at = None
+        if trigger_bytes is not None and trigger_bytes <= 0:
+            self._trip(0.0)
+
+    def shaper_stats(self):
+        return {
+            "conditional.trips_total": 1 if self.tripped else 0,
+            "conditional.trigger_seen_bytes": self.seen_bytes,
+        }
+
+    def _trip(self, now):
+        self.tripped = True
+        self.tripped_at = now
+        self._tokens = float(self.burst_bytes)
+        if _obs.ENABLED:
+            _obs.SINK.inc("netsim.conditional.trips")
+
+    def _advance(self, now):
+        if not self.tripped:
+            if self.trigger_after_s is not None and now >= self.trigger_after_s:
+                self._trip(now)
+        if self.tripped:
+            super()._advance(now)
+            return
+        dt = now - self._last_update
+        if dt <= 0.0:
+            return
+        self._last_update = now
+        arrivals = self._fluid_rate_Bps * dt
+        if arrivals > 0.0 or self._v > _EPS_BYTES:
+            # Unthrottled: everything offered is served immediately.
+            self.bg_bytes_offered += arrivals
+            self.bg_bytes_served += self._v + arrivals
+            self._bg_pos += arrivals
+            self._v = 0.0
+            self.seen_bytes += arrivals
+            if (
+                self.trigger_bytes is not None
+                and self.seen_bytes >= self.trigger_bytes
+            ):
+                self._trip(now)
+
+    def enqueue(self, packet, now):
+        self._advance(now)
+        if not self.tripped:
+            self.seen_bytes += packet.size
+            if self.trigger_bytes is not None and self.seen_bytes >= self.trigger_bytes:
+                self._trip(now)
+        return super().enqueue(packet, now)
+
+    def dequeue(self, now):
+        self._advance(now)
+        if self.tripped:
+            return super().dequeue(now)
+        if self._queue.peek() is None:
+            return None, None
+        self._marks.popleft()
+        return self._queue.dequeue(now)
+
+
+class FluidPerFlowQdisc(Qdisc):
     """Per-flow limiter with a virtual background load term (Section 7).
 
     Marked background traverses its *own* per-flow buckets, never the
@@ -548,6 +735,18 @@ class FluidPerFlowQdisc:
     @property
     def drops(self):
         return self.fifo.drops + sum(tbf.drops for tbf in self._flows.values())
+
+    @property
+    def drops_bytes(self):
+        return self.fifo.drops_bytes + sum(
+            tbf.drops_bytes for tbf in self._flows.values()
+        )
+
+    @property
+    def backlog_bytes(self):
+        return self.fifo.backlog_bytes + sum(
+            tbf.backlog_bytes for tbf in self._flows.values()
+        )
 
     @property
     def n_flows(self):
@@ -637,25 +836,116 @@ def _merge_stats(*parts):
     return merged
 
 
-def make_fluid_rate_limiter(
-    rate_bps, rtt_s, queue_factor=0.5, fifo_capacity=500_000
+def _build_fluid_tbf_device(
+    rate_bps, rtt_s=0.035, queue_factor=0.5, fifo_capacity=500_000
 ):
-    """Fluid-aware version of ``make_rate_limiter`` (same sizing rules)."""
-    burst = max(int(rate_bps * rtt_s / 8.0), 3000)
-    limit = max(int(queue_factor * burst), 1600)
+    """Fluid twin of the ``"tbf"`` device (same sizing rules)."""
+    burst, limit = standard_sizing(rate_bps, rtt_s, queue_factor)
     tbf = FluidTokenBucketFilter(rate_bps, burst, limit)
     return FluidDualClassQdisc(
         tbf, FluidDropTailQueue(fifo_capacity), _dscp_classifier
     )
 
 
+def _build_fluid_perflow_device(
+    rate_bps,
+    rtt_s=0.035,
+    queue_factor=0.5,
+    fifo_capacity=500_000,
+    shaper="tbf",
+    seed=0,
+    **params,
+):
+    """Fluid twin of the ``"perflow"`` device (tbf buckets only)."""
+    if shaper != "tbf" or params:
+        from repro.netsim.qdisc import QdiscFidelityError
+
+        raise QdiscFidelityError(
+            "fluid per-flow supports only default tbf buckets; "
+            f"shaper={shaper!r} has no fluid per-flow twin"
+        )
+    burst, limit = standard_sizing(rate_bps, rtt_s, queue_factor)
+    return FluidPerFlowQdisc(rate_bps, burst, limit, fifo_capacity=fifo_capacity)
+
+
+def _build_fluid_dual_tbf_device(
+    rate_bps,
+    rtt_s=0.035,
+    queue_factor=0.5,
+    fifo_capacity=500_000,
+    peak_factor=2.0,
+    boost_bytes=1_500_000,
+):
+    """Fluid twin of the ``"dual_tbf"`` device (same sizing as shapers.py)."""
+    burst, limit = standard_sizing(rate_bps, rtt_s, queue_factor)
+    peak_rate = peak_factor * rate_bps
+    peak_burst = max(int(peak_rate * rtt_s / 8.0), 3000)
+    cir_burst = max(int(boost_bytes), burst)
+    tbf = FluidDualTokenBucketFilter(rate_bps, cir_burst, limit, peak_rate, peak_burst)
+    return FluidDualClassQdisc(
+        tbf, FluidDropTailQueue(fifo_capacity), _dscp_classifier
+    )
+
+
+def _build_fluid_conditional_device(
+    rate_bps,
+    rtt_s=0.035,
+    queue_factor=0.5,
+    fifo_capacity=500_000,
+    trigger_bytes=4_000_000.0,
+    trigger_after_s=None,
+):
+    """Fluid twin of the ``"conditional"`` device (same sizing as shapers.py)."""
+    burst, limit = standard_sizing(rate_bps, rtt_s, queue_factor)
+    tbf = FluidConditionalTokenBucket(
+        rate_bps, burst, limit,
+        trigger_bytes=trigger_bytes, trigger_after_s=trigger_after_s,
+    )
+    return FluidDualClassQdisc(
+        tbf, FluidDropTailQueue(fifo_capacity), _dscp_classifier
+    )
+
+
+# Attach the fluid halves to the mechanisms registered elsewhere.  The
+# AQMs (red/ecn/codel/pie) deliberately have none: their drop processes
+# depend on instantaneous queue state in a way the closed-form fluid
+# integration cannot reproduce, so make_qdisc raises QdiscFidelityError
+# for them under fidelity="hybrid".
+register("droptail", fluid=FluidDropTailQueue)
+register("tbf", fluid=_build_fluid_tbf_device)
+register("perflow", fluid=_build_fluid_perflow_device)
+register("dual_tbf", fluid=_build_fluid_dual_tbf_device)
+register("conditional", fluid=_build_fluid_conditional_device)
+
+
+def make_fluid_rate_limiter(
+    rate_bps, rtt_s, queue_factor=0.5, fifo_capacity=500_000
+):
+    """Deprecated alias for ``make_qdisc("tbf", fidelity="hybrid", ...)``."""
+    import warnings
+
+    warnings.warn(
+        "make_fluid_rate_limiter is deprecated; use "
+        "repro.netsim.qdisc.make_qdisc('tbf', fidelity='hybrid', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_fluid_tbf_device(rate_bps, rtt_s, queue_factor, fifo_capacity)
+
+
 def make_fluid_per_flow_limiter(
     rate_bps, rtt_s, queue_factor=0.5, fifo_capacity=500_000
 ):
-    """Fluid-aware version of ``make_per_flow_limiter``."""
-    burst = max(int(rate_bps * rtt_s / 8.0), 3000)
-    limit = max(int(queue_factor * burst), 1600)
-    return FluidPerFlowQdisc(rate_bps, burst, limit, fifo_capacity=fifo_capacity)
+    """Deprecated alias for ``make_qdisc("perflow", fidelity="hybrid", ...)``."""
+    import warnings
+
+    warnings.warn(
+        "make_fluid_per_flow_limiter is deprecated; use "
+        "repro.netsim.qdisc.make_qdisc('perflow', fidelity='hybrid', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_fluid_perflow_device(rate_bps, rtt_s, queue_factor, fifo_capacity)
 
 
 # -- fluid background sources ---------------------------------------

@@ -25,6 +25,9 @@ class Packet:
         size: wire size in bytes.
         dscp: differentiated-services code point.  The rate limiters of
             Appendix C.1 throttle ``dscp == 1`` and pass ``dscp == 0``.
+        ecn: congestion-experienced mark (0 or 1), set by ECN-marking
+            shapers; TCP receivers echo it on the ACK so senders back
+            off without loss.
         sent_at: time the packet left the sender (for RTT samples).
         is_retx: True when this is a TCP retransmission.
         path: the :class:`~repro.netsim.path.Path` being traversed.
@@ -38,6 +41,7 @@ class Packet:
         "seq",
         "size",
         "dscp",
+        "ecn",
         "sent_at",
         "is_retx",
         "sack",
@@ -47,13 +51,23 @@ class Packet:
     )
 
     def __init__(
-        self, flow_id, kind, seq, size, dscp=0, sent_at=0.0, is_retx=False, sack=None
+        self,
+        flow_id,
+        kind,
+        seq,
+        size,
+        dscp=0,
+        sent_at=0.0,
+        is_retx=False,
+        sack=None,
+        ecn=0,
     ):
         self.flow_id = flow_id
         self.kind = kind
         self.seq = seq
         self.size = size
         self.dscp = dscp
+        self.ecn = ecn
         self.sent_at = sent_at
         self.is_retx = is_retx
         self.sack = sack  # highest out-of-order byte held by the receiver

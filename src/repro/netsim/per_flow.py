@@ -14,11 +14,14 @@ and round-robin service across all queues.  The flow key defaults to
 because two replays that share a flow id share a bucket.
 """
 
+import warnings
+
+from repro.netsim.qdisc import Qdisc, register, standard_sizing
 from repro.netsim.queues import DropTailQueue
 from repro.netsim.token_bucket import TokenBucketFilter
 
 
-class PerFlowQdisc:
+class PerFlowQdisc(Qdisc):
     """Classifier + per-flow TBFs + FIFO + round-robin scheduler.
 
     Parameters:
@@ -28,6 +31,11 @@ class PerFlowQdisc:
         flow_key: maps a packet to its flow identity (default: the
             packet's ``flow_id``).
         fifo_capacity: byte capacity of the non-throttled FIFO.
+        bucket_factory: zero-argument callable building one per-flow
+            bucket (default: a :class:`TokenBucketFilter` with this
+            qdisc's rate/burst/limit).  This is how the registry
+            composes per-flow placement with any class-shaper
+            mechanism (see :func:`repro.netsim.qdisc.class_shaper_factory`).
     """
 
     __slots__ = (
@@ -36,6 +44,7 @@ class PerFlowQdisc:
         "limit_bytes",
         "flow_key",
         "fifo",
+        "bucket_factory",
         "_flows",
         "_rr_order",
         "_rr_index",
@@ -48,6 +57,7 @@ class PerFlowQdisc:
         limit_bytes,
         flow_key=None,
         fifo_capacity=500_000,
+        bucket_factory=None,
     ):
         if rate_bps <= 0:
             raise ValueError("per-flow rate must be positive")
@@ -56,7 +66,8 @@ class PerFlowQdisc:
         self.limit_bytes = limit_bytes
         self.flow_key = flow_key if flow_key is not None else _default_flow_key
         self.fifo = DropTailQueue(fifo_capacity)
-        self._flows = {}  # key -> TokenBucketFilter
+        self.bucket_factory = bucket_factory
+        self._flows = {}  # key -> TokenBucketFilter (or bucket_factory product)
         self._rr_order = []  # stable round-robin order over flow keys
         self._rr_index = 0
 
@@ -68,6 +79,18 @@ class PerFlowQdisc:
         return self.fifo.drops + sum(tbf.drops for tbf in self._flows.values())
 
     @property
+    def drops_bytes(self):
+        return self.fifo.drops_bytes + sum(
+            tbf.drops_bytes for tbf in self._flows.values()
+        )
+
+    @property
+    def backlog_bytes(self):
+        return self.fifo.backlog_bytes + sum(
+            tbf.backlog_bytes for tbf in self._flows.values()
+        )
+
+    @property
     def n_flows(self):
         """Number of per-flow buckets instantiated so far."""
         return len(self._flows)
@@ -75,9 +98,12 @@ class PerFlowQdisc:
     def _bucket_for(self, key):
         bucket = self._flows.get(key)
         if bucket is None:
-            bucket = TokenBucketFilter(
-                self.rate_bps, self.burst_bytes, self.limit_bytes
-            )
+            if self.bucket_factory is not None:
+                bucket = self.bucket_factory()
+            else:
+                bucket = TokenBucketFilter(
+                    self.rate_bps, self.burst_bytes, self.limit_bytes
+                )
             self._flows[key] = bucket
             self._rr_order.append(key)
         return bucket
@@ -107,8 +133,44 @@ def _default_flow_key(packet):
     return packet.flow_id
 
 
+def _build_perflow_device(
+    rate_bps,
+    rtt_s=0.035,
+    queue_factor=0.5,
+    fifo_capacity=500_000,
+    shaper="tbf",
+    seed=0,
+    **params,
+):
+    """Per-flow limiter with the paper's burst = rate x RTT convention.
+
+    ``shaper`` selects the mechanism of each per-flow bucket -- per-flow
+    placement composes with any registered class shaper.
+    """
+    burst, limit = standard_sizing(rate_bps, rtt_s, queue_factor)
+    if shaper == "tbf" and not params:
+        return PerFlowQdisc(rate_bps, burst, limit, fifo_capacity=fifo_capacity)
+    from repro.netsim.qdisc import class_shaper_factory
+
+    factory = class_shaper_factory(shaper, rate_bps, burst, limit, seed=seed, **params)
+    return PerFlowQdisc(
+        rate_bps, burst, limit, fifo_capacity=fifo_capacity, bucket_factory=factory
+    )
+
+
+register(
+    "perflow",
+    packet=_build_perflow_device,
+    doc="per-flow buckets for dscp=1 traffic (Section-7 limitation device)",
+)
+
+
 def make_per_flow_limiter(rate_bps, rtt_s, queue_factor=0.5, fifo_capacity=500_000):
-    """Per-flow limiter with the paper's burst = rate x RTT convention."""
-    burst = max(int(rate_bps * rtt_s / 8.0), 3000)
-    limit = max(int(queue_factor * burst), 1600)
-    return PerFlowQdisc(rate_bps, burst, limit, fifo_capacity=fifo_capacity)
+    """Deprecated alias for ``make_qdisc("perflow", ...)``."""
+    warnings.warn(
+        "make_per_flow_limiter is deprecated; use "
+        "repro.netsim.qdisc.make_qdisc('perflow', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_perflow_device(rate_bps, rtt_s, queue_factor, fifo_capacity)

@@ -1,7 +1,7 @@
 """Queueing disciplines.
 
-Every discipline implements the same small interface consumed by
-:class:`~repro.netsim.link.Link`:
+Every discipline implements the :class:`~repro.netsim.qdisc.Qdisc`
+protocol consumed by :class:`~repro.netsim.link.Link`:
 
 - ``enqueue(packet, now) -> bool`` -- False means the packet was dropped.
 - ``dequeue(now) -> (packet | None, wake | None)`` -- returns the next
@@ -16,10 +16,11 @@ harness.
 
 from collections import deque
 
+from repro.netsim.qdisc import Qdisc, register
 from repro.obs import metrics as _obs
 
 
-class DropTailQueue:
+class DropTailQueue(Qdisc):
     """A FIFO with a byte-capacity bound; arrivals that overflow are dropped."""
 
     __slots__ = (
@@ -27,6 +28,7 @@ class DropTailQueue:
         "_queue",
         "_bytes",
         "drops",
+        "drops_bytes",
         "enqueued",
         "delay_sum",
         "delay_samples",
@@ -39,6 +41,7 @@ class DropTailQueue:
         self._queue = deque()
         self._bytes = 0
         self.drops = 0
+        self.drops_bytes = 0
         self.enqueued = 0
         self.delay_sum = 0.0
         self.delay_samples = 0
@@ -54,6 +57,7 @@ class DropTailQueue:
     def enqueue(self, packet, now):
         if self._bytes + packet.size > self.capacity_bytes:
             self.drops += 1
+            self.drops_bytes += packet.size
             # Drops are rare relative to packet events, so this is the
             # only queue operation that pays an instrumentation branch.
             if _obs.ENABLED:
@@ -85,3 +89,10 @@ class DropTailQueue:
         if self.delay_samples == 0:
             return 0.0
         return self.delay_sum / self.delay_samples
+
+
+register(
+    "droptail",
+    packet=DropTailQueue,
+    doc="plain FIFO with byte-capacity tail drop (no rate limiting)",
+)

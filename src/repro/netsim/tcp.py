@@ -60,7 +60,9 @@ class TcpReceiver:
         elif packet.seq > self.rcv_nxt:
             self._out_of_order.add(packet.seq)
         if self.capture is not None:
-            self.capture.on_arrival(self.sim.now, packet.size - HEADER_BYTES)
+            self.capture.on_arrival(
+                self.sim.now, packet.size - HEADER_BYTES, marked=packet.ecn != 0
+            )
         ack = Packet(
             self.flow_id,
             ACK,
@@ -72,6 +74,9 @@ class TcpReceiver:
             # out-of-order block set -- the simulation equivalent of
             # SACK blocks.  Senders must treat it as read-only.
             sack=self._out_of_order if self._out_of_order else None,
+            # ECN echo: the congestion-experienced mark rides back to
+            # the sender (simplified ECE -- no latched state).
+            ecn=packet.ecn,
         )
         self.reverse_path.inject(ack)
 
@@ -382,6 +387,10 @@ class TcpSender:
                     # NewReno partial ACK: the next segment is also
                     # lost (unless SACK-lite already resent it).
                     self._queue_retransmit(self.snd_una, "partial")
+            elif packet.ecn and self.snd_una > self.recover:
+                # ECN echo: multiplicative backoff, at most once per
+                # window (RFC 3168 semantics) -- no retransmission.
+                self._ecn_backoff()
             else:
                 self._grow_cwnd(newly_acked)
             if self.snd_una < self.snd_nxt:
@@ -438,6 +447,24 @@ class TcpSender:
                     self._queue_retransmit(hole, "sack")
                     return
             hole += MSS
+
+    def _ecn_backoff(self):
+        """Congestion response to an ECN echo: halve, don't retransmit.
+
+        Reuses the fast-retransmit window math but leaves the data
+        stream alone -- nothing was lost.  ``recover`` advances so
+        further echoes within the same window are ignored.
+        """
+        self.recover = self.snd_nxt
+        beta = CUBIC_BETA if self.cc == "cubic" else RENO_BETA
+        self._w_max = self.cwnd
+        self.cwnd = max(self.cwnd * beta, 2.0)
+        self.ssthresh = self.cwnd
+        if self.cc == "cubic":
+            self._epoch_start = self.sim.now
+            self._cubic_k = ((self._w_max * (1.0 - CUBIC_BETA)) / CUBIC_C) ** (1.0 / 3.0)
+        if _obs.ENABLED:
+            _obs.SINK.inc("netsim.tcp.ecn_backoffs")
 
     def _fast_retransmit(self):
         self.in_recovery = True

@@ -15,11 +15,14 @@ whether the device behaves as a policer (small limit, drops) or a shaper
 (large limit, delays).
 """
 
+import warnings
+
+from repro.netsim.qdisc import Qdisc, register, standard_sizing
 from repro.netsim.queues import DropTailQueue
 from repro.obs import metrics as _obs
 
 
-class TokenBucketFilter:
+class TokenBucketFilter(Qdisc):
     """A token bucket gating a drop-tail queue.
 
     Tokens (in bytes) accrue continuously at ``rate_bps / 8`` per second
@@ -48,6 +51,10 @@ class TokenBucketFilter:
     @property
     def drops(self):
         return self._queue.drops
+
+    @property
+    def drops_bytes(self):
+        return self._queue.drops_bytes
 
     @property
     def enqueued(self):
@@ -113,7 +120,7 @@ class TokenBucketFilter:
         return None, wake
 
 
-class DualClassQdisc:
+class DualClassQdisc(Qdisc):
     """Classifier + FIFO + TBF + round-robin scheduler (Appendix C.1).
 
     ``classifier`` maps a packet to True when it belongs to the
@@ -135,6 +142,14 @@ class DualClassQdisc:
     @property
     def drops(self):
         return self.fifo.drops + self.tbf.drops
+
+    @property
+    def drops_bytes(self):
+        return self.fifo.drops_bytes + self.tbf.drops_bytes
+
+    @property
+    def backlog_bytes(self):
+        return self.fifo.backlog_bytes + self.tbf.backlog_bytes
 
     def enqueue(self, packet, now):
         if self.classifier(packet):
@@ -164,7 +179,7 @@ def _dscp_classifier(packet):
     return packet.dscp == 1
 
 
-def make_rate_limiter(rate_bps, rtt_s, queue_factor=0.5, fifo_capacity=500_000):
+def _build_tbf_device(rate_bps, rtt_s=0.035, queue_factor=0.5, fifo_capacity=500_000):
     """Build the paper's standard rate limiter.
 
     ``burst = rate x RTT`` (so the throttling rate is achieved on
@@ -172,7 +187,25 @@ def make_rate_limiter(rate_bps, rtt_s, queue_factor=0.5, fifo_capacity=500_000):
     (0.25/0.5/1 in Table 2; smaller is more policer-like, larger more
     shaper-like).
     """
-    burst = max(int(rate_bps * rtt_s / 8.0), 3000)
-    limit = max(int(queue_factor * burst), 1600)
+    burst, limit = standard_sizing(rate_bps, rtt_s, queue_factor)
     tbf = TokenBucketFilter(rate_bps, burst, limit)
     return DualClassQdisc(tbf, DropTailQueue(fifo_capacity))
+
+
+register(
+    "tbf",
+    packet=_build_tbf_device,
+    shaper=TokenBucketFilter,
+    doc="single-rate token-bucket policer/shaper (Appendix C.1 device)",
+)
+
+
+def make_rate_limiter(rate_bps, rtt_s, queue_factor=0.5, fifo_capacity=500_000):
+    """Deprecated alias for ``make_qdisc("tbf", ...)``."""
+    warnings.warn(
+        "make_rate_limiter is deprecated; use "
+        "repro.netsim.qdisc.make_qdisc('tbf', ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_tbf_device(rate_bps, rtt_s, queue_factor, fifo_capacity)

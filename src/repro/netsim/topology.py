@@ -8,21 +8,18 @@ server is also available for the single replay.
 
 The rate limiter can sit on ``lc`` (the scenario WeHeY must detect) or
 one copy on each of ``l1``/``l2`` (the adversarial false-positive
-scenario of Table 5).
+scenario of Table 5).  *Where* the limiter sits (``limiter``) is
+orthogonal to *what* it is (``shaper``): any mechanism registered with
+:mod:`repro.netsim.qdisc` -- tbf, red, codel, pie, dual_tbf,
+conditional, ecn, ... -- can be deployed at any placement, with
+mechanism parameters passed through ``shaper_params``.
 """
 
 from dataclasses import dataclass, field
 
-from repro.netsim.fluid import (
-    FluidDropTailQueue,
-    make_fluid_per_flow_limiter,
-    make_fluid_rate_limiter,
-)
 from repro.netsim.link import Link
 from repro.netsim.path import DirectPath, Path
-from repro.netsim.per_flow import make_per_flow_limiter
-from repro.netsim.queues import DropTailQueue
-from repro.netsim.token_bucket import make_rate_limiter
+from repro.netsim.qdisc import make_qdisc, qdisc_spec, supports_fidelity
 
 
 @dataclass
@@ -30,10 +27,17 @@ class TopologyConfig:
     """Knobs for a Figure-1 instance (defaults match Table 2's bold values).
 
     Rates are bits/s, times are seconds.  ``limiter`` is ``"common"``,
-    ``"noncommon"`` or ``None``.  ``queue_factor`` is the TBF queue size
-    as a multiple of the burst (0.25 / 0.5 / 1 in Table 2).
-    ``noncommon_bandwidth_bps`` lets Table 4's congestion experiments
-    squeeze ``l1``/``l2``.
+    ``"noncommon"``, ``"perflow"`` or ``None``.  ``queue_factor`` is the
+    TBF queue size as a multiple of the burst (0.25 / 0.5 / 1 in
+    Table 2).  ``noncommon_bandwidth_bps`` lets Table 4's congestion
+    experiments squeeze ``l1``/``l2``.
+
+    ``shaper`` selects the rate-limiting *mechanism* deployed at the
+    ``limiter`` placement (default ``"tbf"``, the paper's device);
+    ``shaper_params`` is a tuple of ``(name, value)`` pairs forwarded to
+    the registered factory, and ``shaper_seed`` seeds randomized
+    mechanisms (RED/PIE draws), with each limiter instance getting a
+    distinct derived seed.
     """
 
     common_bandwidth_bps: float = 100e6
@@ -50,6 +54,9 @@ class TopologyConfig:
     #: builds their fluid twins so background load can arrive as a rate
     #: process (see :mod:`repro.netsim.fluid`).
     fidelity: str = "packet"
+    shaper: str = None
+    shaper_params: tuple = ()
+    shaper_seed: int = 0
 
     def __post_init__(self):
         if self.limiter not in (None, "common", "noncommon", "perflow"):
@@ -60,6 +67,28 @@ class TopologyConfig:
             rtt = getattr(self, name)
             if rtt <= 2 * self.common_delay_s:
                 raise ValueError(f"{name}={rtt} too small for common delay")
+        if self.shaper is not None:
+            qdisc_spec(self.shaper)  # raises on unknown mechanisms
+            if self.limiter is None:
+                raise ValueError("shaper requires a limiter placement")
+            if self.limiter == "perflow":
+                # Composition check: the per-flow device needs the bare
+                # class-shaper half of the mechanism.
+                if qdisc_spec(self.shaper).shaper is None:
+                    raise ValueError(
+                        f"shaper {self.shaper!r} cannot be used per-flow"
+                    )
+                if self.fidelity == "hybrid" and self.shaper != "tbf":
+                    raise ValueError(
+                        f"fluid per-flow has no {self.shaper!r} twin"
+                    )
+            elif not supports_fidelity(self.shaper, self.fidelity):
+                raise ValueError(
+                    f"shaper {self.shaper!r} has no {self.fidelity} "
+                    "implementation (AQMs are packet-only)"
+                )
+        if self.shaper_params and self.shaper is None:
+            raise ValueError("shaper_params requires a shaper")
 
 
 class FigureOneTopology:
@@ -69,30 +98,14 @@ class FigureOneTopology:
         self.sim = sim
         self.config = config
 
-        hybrid = config.fidelity == "hybrid"
-        rate_limiter = make_fluid_rate_limiter if hybrid else make_rate_limiter
-        per_flow_limiter = (
-            make_fluid_per_flow_limiter if hybrid else make_per_flow_limiter
-        )
-        plain_queue = FluidDropTailQueue if hybrid else DropTailQueue
-
         mean_rtt = (config.rtt_1 + config.rtt_2) / 2.0
+        self._limiter_index = 0
         if config.limiter == "common":
-            common_qdisc = rate_limiter(
-                config.limiter_rate_bps,
-                mean_rtt,
-                config.queue_factor,
-                fifo_capacity=config.queue_capacity_bytes,
-            )
+            common_qdisc = self._make_limiter(config.shaper or "tbf", mean_rtt)
         elif config.limiter == "perflow":
-            common_qdisc = per_flow_limiter(
-                config.limiter_rate_bps,
-                mean_rtt,
-                config.queue_factor,
-                fifo_capacity=config.queue_capacity_bytes,
-            )
+            common_qdisc = self._make_perflow(mean_rtt)
         else:
-            common_qdisc = plain_queue(config.queue_capacity_bytes)
+            common_qdisc = self._make_plain()
         self.link_c = Link(
             sim, "lc", config.common_bandwidth_bps, config.common_delay_s, common_qdisc
         )
@@ -102,14 +115,9 @@ class FigureOneTopology:
         rtts = [config.rtt_1, config.rtt_2] + list(config.extra_server_rtts)
         for i, rtt in enumerate(rtts, start=1):
             if config.limiter == "noncommon":
-                qdisc = rate_limiter(
-                    config.limiter_rate_bps,
-                    rtt,
-                    config.queue_factor,
-                    fifo_capacity=config.queue_capacity_bytes,
-                )
+                qdisc = self._make_limiter(config.shaper or "tbf", rtt)
             else:
-                qdisc = plain_queue(config.queue_capacity_bytes)
+                qdisc = self._make_plain()
             forward_delay = max(rtt / 2.0 - config.common_delay_s, 1e-4)
             link = Link(
                 sim,
@@ -123,6 +131,56 @@ class FigureOneTopology:
 
         self.link_1 = self.noncommon_links[0]
         self.link_2 = self.noncommon_links[1]
+
+    def _make_plain(self):
+        return make_qdisc(
+            "droptail",
+            fidelity=self.config.fidelity,
+            capacity_bytes=self.config.queue_capacity_bytes,
+        )
+
+    def _shaper_kwargs(self, mechanism):
+        """Mechanism params, plus a derived per-instance seed if needed."""
+        params = dict(self.config.shaper_params)
+        if qdisc_spec(mechanism).seeded:
+            # Each limiter instance (noncommon placement builds several)
+            # gets its own derived seed, in construction order.
+            params.setdefault(
+                "seed", self.config.shaper_seed + 1009 * self._limiter_index
+            )
+            self._limiter_index += 1
+        return params
+
+    def _make_limiter(self, mechanism, rtt):
+        config = self.config
+        return make_qdisc(
+            mechanism,
+            fidelity=config.fidelity,
+            rate_bps=config.limiter_rate_bps,
+            rtt_s=rtt,
+            queue_factor=config.queue_factor,
+            fifo_capacity=config.queue_capacity_bytes,
+            **self._shaper_kwargs(mechanism),
+        )
+
+    def _make_perflow(self, rtt):
+        config = self.config
+        kwargs = {}
+        if config.shaper is not None and config.shaper != "tbf":
+            kwargs["shaper"] = config.shaper
+            kwargs.update(self._shaper_kwargs(config.shaper))
+            kwargs.setdefault("seed", config.shaper_seed)
+        else:
+            kwargs.update(dict(config.shaper_params))
+        return make_qdisc(
+            "perflow",
+            fidelity=config.fidelity,
+            rate_bps=config.limiter_rate_bps,
+            rtt_s=rtt,
+            queue_factor=config.queue_factor,
+            fifo_capacity=config.queue_capacity_bytes,
+            **kwargs,
+        )
 
     def rtt(self, which):
         """Configured RTT of path ``which`` (1-based)."""

@@ -29,6 +29,7 @@ class UdpReceiver:
         self.received_seqs = set()
         self.arrivals = []  # (time, seq, payload_bytes)
         self.bytes_received = 0
+        self.ecn_marks = 0
 
     def receive(self, packet):
         if packet.kind != DATA:
@@ -37,8 +38,10 @@ class UdpReceiver:
         self.received_seqs.add(packet.seq)
         self.arrivals.append((self.sim.now, packet.seq, payload))
         self.bytes_received += payload
+        if packet.ecn:
+            self.ecn_marks += 1
         if self.capture is not None:
-            self.capture.on_arrival(self.sim.now, payload)
+            self.capture.on_arrival(self.sim.now, payload, marked=packet.ecn != 0)
 
     def loss_events(self, schedule, base_delay):
         """Reconstruct client-side loss events.

@@ -55,13 +55,33 @@ def harvest_qdisc(sink, qdisc):
 
 def _harvest_tbf(sink, tbf):
     sink.inc("netsim.tbf.drops_total", tbf.drops)
+    sink.inc("netsim.tbf.drops_bytes_total", getattr(tbf, "drops_bytes", 0))
     sink.inc("netsim.tbf.enqueued_total", tbf.enqueued)
     sink.observe("netsim.tbf.mean_delay_s", tbf.mean_delay)
     sink.observe("netsim.tbf.final_backlog_bytes", tbf.backlog_bytes)
+    _harvest_shaper_extras(sink, tbf)
+
+
+def _harvest_shaper_extras(sink, qdisc):
+    """Mechanism-specific aggregates (RED early drops, CoDel drops,
+    PIE drops, peak deferrals, conditional trips, ...).
+
+    Shapers that keep extra counters expose them as a
+    ``shaper_stats() -> {suffix: value}`` mapping; the harvested
+    ``netsim.<suffix>`` totals double-book the corresponding live
+    counters (``netsim.red.early_drops`` etc.), and ``tests/obs``
+    asserts the books agree.
+    """
+    stats = getattr(qdisc, "shaper_stats", None)
+    if stats is None:
+        return
+    for suffix, value in stats().items():
+        sink.inc(f"netsim.{suffix}", value)
 
 
 def _harvest_droptail(sink, queue, prefix):
     sink.inc(f"{prefix}.drops_total", queue.drops)
+    sink.inc(f"{prefix}.drops_bytes_total", getattr(queue, "drops_bytes", 0))
     sink.inc(f"{prefix}.enqueued_total", queue.enqueued)
     sink.observe(f"{prefix}.mean_delay_s", queue.mean_delay)
     sink.observe(f"{prefix}.final_backlog_bytes", queue.backlog_bytes)

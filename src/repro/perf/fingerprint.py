@@ -1,0 +1,287 @@
+"""Shaper-fingerprinting benchmark and the ``BENCH_fingerprint.json`` writer.
+
+The workload is the pinned grid the acceptance gate is defined on:
+
+- **train**: :data:`GRID_SHAPERS` x :data:`GRID_APPS` x
+  :data:`TRAIN_SEEDS` seeded probe replays, fitted into a
+  :class:`~repro.stats.fingerprint.NearestCentroidClassifier`;
+- **test**: the same shapers and apps on the held-out
+  :data:`TEST_SEEDS`, classified cell by cell; accuracy is gated
+  (``--min-accuracy``, default 0.8);
+- **compose**: one end-to-end WeHeY test on a dual-token-bucket
+  scenario, localized with
+  :class:`~repro.core.localizer.WeHeYLocalizer` and then
+  fingerprinted via
+  :func:`~repro.stats.fingerprint.fingerprint_bottleneck` -- the gate
+  asserts the composition produced a classification (the localizer
+  found the bottleneck and the classifier ran), which is the API
+  contract this subsystem exists for.
+
+Timing is reported; the gates assert *correctness* (accuracy, the
+composition contract), not absolute walls.  The report embeds the
+fitted classifier (via ``to_dict``) so a regression can be diagnosed
+from the artifact alone.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.perf.bench import _git_commit
+from repro.stats.fingerprint import (
+    DEFAULT_SHAPERS,
+    FEATURE_NAMES,
+    NearestCentroidClassifier,
+    fingerprint_bottleneck,
+    labelled_grid,
+    probe_config,
+)
+
+FINGERPRINT_SCHEMA_VERSION = 1
+
+#: Pinned grid: the acceptance gate runs on exactly this shape.  Both
+#: apps are TCP streamers at different rates -- TCP probes see the
+#: queuing-delay dynamics that separate the AQM trio, which UDP
+#: cannot observe (see repro.stats.fingerprint).
+GRID_SHAPERS = DEFAULT_SHAPERS
+GRID_APPS = ("netflix", "youtube")
+TRAIN_SEEDS = (0, 1, 2, 3)
+TEST_SEEDS = (4, 5)
+GRID_DURATION = 10.0
+
+#: The composition check's scenario.  The mechanism must come from the
+#: token-bucket family: the loss-trend localizer keys on correlated
+#: loss bursts across the two paths, which burst-dropping shapers
+#: produce and randomized AQMs (RED/PIE) deliberately destroy -- a
+#: RED scenario never localizes here, which is itself evidence the
+#: AQM models behave like the real thing.  Duration is longer than
+#: the grid's so the correlation detector has enough windows.
+COMPOSE_SHAPER = "dual_tbf"
+COMPOSE_APP = "netflix"
+COMPOSE_SEED = 0
+COMPOSE_DURATION = 20.0
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def bench_train(train_seeds, duration, log=None):
+    cells = []
+
+    def on_cell(shaper, app, seed, vector):
+        cells.append({"shaper": shaper, "app": app, "seed": seed})
+        if log:
+            log(f"  train {shaper}/{app}/seed{seed}")
+
+    (features, labels, groups), wall = _timed(
+        lambda: labelled_grid(
+            shapers=GRID_SHAPERS, apps=GRID_APPS, seeds=train_seeds,
+            duration=duration, on_cell=on_cell,
+        )
+    )
+    classifier = NearestCentroidClassifier().fit(features, labels, groups=groups)
+    return classifier, {
+        "cells": len(cells),
+        "seeds": list(train_seeds),
+        "wall_s": wall,
+    }
+
+
+def bench_test(classifier, test_seeds, duration, log=None):
+    (features, labels, groups), wall = _timed(
+        lambda: labelled_grid(
+            shapers=GRID_SHAPERS, apps=GRID_APPS, seeds=test_seeds,
+            duration=duration,
+        )
+    )
+    predictions = classifier.predict_many(features, groups=groups)
+    cells = []
+    confusion = {}
+    correct = 0
+    index = 0
+    for shaper in GRID_SHAPERS:
+        for app in GRID_APPS:
+            for seed in test_seeds:
+                predicted = predictions[index]
+                hit = predicted == labels[index]
+                correct += hit
+                cells.append({
+                    "shaper": shaper,
+                    "app": app,
+                    "seed": seed,
+                    "predicted": predicted,
+                    "correct": bool(hit),
+                })
+                confusion.setdefault(shaper, {})
+                confusion[shaper][predicted] = (
+                    confusion[shaper].get(predicted, 0) + 1
+                )
+                if log and not hit:
+                    log(f"  MISS {shaper}/{app}/seed{seed} -> {predicted}")
+                index += 1
+    accuracy = correct / len(labels) if labels else 0.0
+    return {
+        "cells": cells,
+        "confusion": confusion,
+        "accuracy": accuracy,
+        "n_cells": len(labels),
+        "n_correct": int(correct),
+        "seeds": list(test_seeds),
+        "wall_s": wall,
+    }
+
+
+def bench_compose(classifier):
+    """End-to-end: localize a shaped scenario, then fingerprint it."""
+    from repro.core.localizer import WeHeYLocalizer
+    from repro.experiments.runner import NetsimReplayService
+    from repro.experiments.wild import default_tdiff
+    from repro.wehe.apps import make_trace
+    from repro.wehe.traces import bit_invert
+
+    config = probe_config(
+        COMPOSE_SHAPER, app=COMPOSE_APP, seed=COMPOSE_SEED,
+        duration=COMPOSE_DURATION,
+    )
+
+    def run():
+        service = NetsimReplayService(config)
+        localizer = WeHeYLocalizer(
+            np.random.default_rng(COMPOSE_SEED), default_tdiff()
+        )
+        trace = make_trace(config.app, config.duration, service._trace_rng)
+        report = localizer.localize(service, trace, bit_invert(trace))
+        return report, fingerprint_bottleneck(report, service, classifier)
+
+    (report, fingerprint), wall = _timed(run)
+    return {
+        "scenario": {
+            "shaper": COMPOSE_SHAPER,
+            "app": COMPOSE_APP,
+            "seed": COMPOSE_SEED,
+            "duration": COMPOSE_DURATION,
+        },
+        "localized": bool(report.localized),
+        "outcome": report.outcome.value,
+        "fingerprint_reason": fingerprint.reason,
+        "fingerprint_shaper": fingerprint.shaper,
+        "fingerprint_margin": fingerprint.margin(),
+        "classified": fingerprint.classified,
+        "wall_s": wall,
+    }
+
+
+def run_benchmarks(train_seeds=TRAIN_SEEDS, test_seeds=TEST_SEEDS,
+                   duration=GRID_DURATION, compose=True, log=None):
+    classifier, train_report = bench_train(train_seeds, duration, log=log)
+    test_report = bench_test(classifier, test_seeds, duration, log=log)
+    report = {
+        "schema": f"BENCH_fingerprint/{FINGERPRINT_SCHEMA_VERSION}",
+        "schema_version": FINGERPRINT_SCHEMA_VERSION,
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "grid": {
+            "shapers": list(GRID_SHAPERS),
+            "apps": list(GRID_APPS),
+            "duration_s": duration,
+        },
+        "feature_names": list(FEATURE_NAMES),
+        "train": train_report,
+        "test": test_report,
+        "classifier": classifier.to_dict(),
+    }
+    if compose:
+        report["compose"] = bench_compose(classifier)
+    return report
+
+
+def check_gates(report, args):
+    """Evaluate the acceptance gates; returns a list of failures."""
+    failures = []
+    accuracy = report["test"]["accuracy"]
+    if accuracy < args.min_accuracy:
+        failures.append(
+            f"fingerprint accuracy {accuracy:.3f} < {args.min_accuracy}"
+        )
+    compose = report.get("compose")
+    if compose is not None:
+        if not compose["localized"]:
+            failures.append(
+                "composition check: localizer found no bottleneck "
+                f"(outcome {compose['outcome']!r})"
+            )
+        elif not compose["classified"]:
+            failures.append(
+                "composition check: fingerprint_bottleneck returned "
+                f"no classification (reason {compose['fingerprint_reason']!r})"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.fingerprint",
+        description="shaper-fingerprinting benchmark and acceptance gates",
+    )
+    parser.add_argument("--out", default="BENCH_fingerprint.json")
+    parser.add_argument(
+        "--min-accuracy", type=float, default=0.8,
+        help="held-out grid accuracy gate (default 0.8)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller train/test split for smoke runs (the gate still "
+             "applies; the committed artifact should use the full grid)",
+    )
+    parser.add_argument(
+        "--no-compose", action="store_true",
+        help="skip the end-to-end localize-then-fingerprint check",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    log = print if args.verbose else None
+    train_seeds = (0, 1) if args.quick else TRAIN_SEEDS
+    test_seeds = (2,) if args.quick else TEST_SEEDS
+    report = run_benchmarks(
+        train_seeds=train_seeds,
+        test_seeds=test_seeds,
+        compose=not args.no_compose,
+        log=log,
+    )
+    failures = check_gates(report, args)
+    report["gates_ok"] = not failures
+    report["gate_failures"] = failures
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    test = report["test"]
+    print(f"train : {report['train']['cells']} cells "
+          f"in {report['train']['wall_s']:.1f}s")
+    print(f"test  : {test['n_correct']}/{test['n_cells']} correct "
+          f"(accuracy {test['accuracy']:.3f}) in {test['wall_s']:.1f}s")
+    compose = report.get("compose")
+    if compose is not None:
+        print(f"e2e   : localized={compose['localized']} "
+              f"fingerprint={compose['fingerprint_shaper']} "
+              f"(margin {compose['fingerprint_margin']:.2f})")
+    print(f"report: {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

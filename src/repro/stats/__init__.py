@@ -12,10 +12,20 @@ in the test suite):
   correlation with p-value (Algorithm 1's trend test),
 - :func:`~repro.stats.montecarlo.relative_mean_difference_distribution`
   -- the O_diff Monte-Carlo machinery of Section 4.1,
-- :mod:`~repro.stats.bootstrap` -- jackknife / bootstrap error bars.
+- :mod:`~repro.stats.bootstrap` -- jackknife / bootstrap error bars,
+- :mod:`~repro.stats.fingerprint` -- shaper fingerprinting at a
+  localized bottleneck (nearest-centroid over windowed replay
+  features).
 """
 
 from repro.stats.empirical import ecdf, ecdf_at, quantile
+from repro.stats.fingerprint import (
+    FingerprintReport,
+    NearestCentroidClassifier,
+    fingerprint_bottleneck,
+    replay_features,
+    train_fingerprinter,
+)
 from repro.stats.ks import ks_2samp
 from repro.stats.mwu import mann_whitney_u
 from repro.stats.montecarlo import relative_mean_difference, relative_mean_difference_distribution
@@ -32,4 +42,9 @@ __all__ = [
     "spearman_test",
     "relative_mean_difference",
     "relative_mean_difference_distribution",
+    "FingerprintReport",
+    "NearestCentroidClassifier",
+    "fingerprint_bottleneck",
+    "replay_features",
+    "train_fingerprinter",
 ]

@@ -54,8 +54,19 @@ def canonical_json(obj):
 
 
 def config_to_dict(config):
-    """A :class:`ScenarioConfig` as a plain-JSON dict."""
-    return plain(dataclasses.asdict(config))
+    """A :class:`ScenarioConfig` as a plain-JSON dict.
+
+    The shaper knobs are omitted at their defaults (``shaper=None``):
+    the mechanism axis was added after the store shipped, and omission
+    keeps every pre-shaper record -- and, downstream, every cache key
+    computed over this dict -- byte-identical for default (TBF)
+    scenarios.
+    """
+    data = plain(dataclasses.asdict(config))
+    if data.get("shaper") is None:
+        data.pop("shaper", None)
+        data.pop("shaper_params", None)
+    return data
 
 
 def config_from_dict(data):
@@ -66,12 +77,18 @@ def config_from_dict(data):
         kwargs["background_modulation"] = tuple(
             tuple(part) if isinstance(part, list) else part for part in modulation
         )
+    params = kwargs.get("shaper_params")
+    if params is not None:
+        kwargs["shaper_params"] = tuple(
+            tuple(pair) if isinstance(pair, list) else pair for pair in params
+        )
     return ScenarioConfig(**kwargs)
 
 
 def record_to_dict(record):
     """A :class:`DetectionExperimentRecord` as a plain-JSON dict."""
     data = plain(dataclasses.asdict(record))
+    data["config"] = config_to_dict(record.config)
     data["kind"] = "detection"
     return data
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.wild import WILD_ISPS
+from repro.experiments.wild import WILD_ISPS, ZOO_ISPS, isp_model
 
 
 class TestIspCatalogue:
@@ -35,3 +35,62 @@ class TestIspCatalogue:
     def test_model_is_frozen(self):
         with pytest.raises(AttributeError):
             WILD_ISPS["ISP1"].rtt = 0.5
+
+    def test_table1_isps_keep_the_paper_mechanism(self):
+        # The paper reproduction sweeps must stay on the TBF policer.
+        for model in WILD_ISPS.values():
+            assert model.shaper is None
+            assert model.shaper_params == ()
+
+
+class TestZooCatalogue:
+    def test_zoo_is_disjoint_from_table1(self):
+        assert not set(ZOO_ISPS) & set(WILD_ISPS)
+
+    def test_every_zoo_shaper_is_registered(self):
+        from repro.netsim.qdisc import qdisc_spec
+
+        for model in ZOO_ISPS.values():
+            assert model.shaper is not None
+            spec = qdisc_spec(model.shaper)  # raises if unregistered
+            assert spec.packet is not None
+
+    def test_zoo_covers_aqm_two_rate_and_conditional(self):
+        shapers = {model.shaper for model in ZOO_ISPS.values()}
+        assert {"red", "codel", "pie", "ecn", "dual_tbf", "conditional"} <= shapers
+
+    def test_zoo_params_build_devices(self):
+        from repro.netsim.qdisc import make_qdisc, qdisc_spec
+
+        for model in ZOO_ISPS.values():
+            params = dict(model.shaper_params)
+            if qdisc_spec(model.shaper).seeded:
+                params["seed"] = 0
+            device = make_qdisc(
+                model.shaper, rate_bps=model.throttle_rate_bps, **params
+            )
+            assert len(device) == 0
+
+    def test_isp_model_looks_up_both_catalogues(self):
+        assert isp_model("ISP1") is WILD_ISPS["ISP1"]
+        assert isp_model("ZOO-RED") is ZOO_ISPS["ZOO-RED"]
+        with pytest.raises(KeyError, match="unknown ISP"):
+            isp_model("ZOO-FQ")
+
+
+class TestZooService:
+    def test_zoo_isp_throttles_target_app(self):
+        # A zoo ISP's replay service must actually shape: the original
+        # replay runs well below the line rate while the control (bit-
+        # inverted) replay escapes the classifier.
+        from repro.experiments.wild import WildReplayService
+        from repro.wehe.apps import make_trace
+        from repro.wehe.traces import bit_invert
+
+        service = WildReplayService(isp_model("ZOO-RED"), "netflix", seed=0)
+        trace = make_trace("netflix", service.duration, service._trace_rng)
+        service.single_replay(trace)
+        original = service.last_single_handle.mean_throughput()
+        service.single_replay(bit_invert(trace))
+        control = service.last_single_handle.mean_throughput()
+        assert original < 0.8 * control

@@ -8,14 +8,14 @@ from repro.netsim.engine import Simulator
 from repro.netsim.link import Link
 from repro.netsim.packet import DATA, Packet
 from repro.netsim.path import DirectPath, Path
-from repro.netsim.per_flow import PerFlowQdisc, make_per_flow_limiter
+from repro.netsim.per_flow import PerFlowQdisc
+from repro.netsim.qdisc import make_qdisc
 from repro.netsim.tcp import TcpReceiver
-from repro.netsim.token_bucket import make_rate_limiter
 
 
 def run_bbr(limiter_rate, stop_at=20.0):
     sim = Simulator()
-    qdisc = make_rate_limiter(limiter_rate, 0.035, 0.5)
+    qdisc = make_qdisc("tbf", rate_bps=limiter_rate, rtt_s=0.035, queue_factor=0.5)
     link = Link(sim, "lc", 100e6, 0.005, qdisc)
     capture = FlowCapture()
     receiver = TcpReceiver(sim, "f", capture)
@@ -99,7 +99,7 @@ class TestPerFlowQdisc:
         assert qdisc.drops == 1
 
     def test_factory_applies_burst_rule(self):
-        qdisc = make_per_flow_limiter(8e6, 0.05)
+        qdisc = make_qdisc("perflow", rate_bps=8e6, rtt_s=0.05)
         qdisc.enqueue(flow_packet("x"), 0.0)
         bucket = qdisc._flows["x"]
         assert bucket.burst_bytes == int(8e6 * 0.05 / 8.0)

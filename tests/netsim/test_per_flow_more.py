@@ -4,7 +4,7 @@ from repro.netsim.capture import FlowCapture
 from repro.netsim.engine import Simulator
 from repro.netsim.link import Link
 from repro.netsim.path import Path
-from repro.netsim.per_flow import make_per_flow_limiter
+from repro.netsim.qdisc import make_qdisc
 from repro.netsim.udp import UdpReceiver, UdpSender
 
 def cbr_schedule(rate_bps, size, duration):
@@ -15,7 +15,7 @@ def cbr_schedule(rate_bps, size, duration):
 class TestPerFlowOnLink:
     def test_each_flow_individually_throttled(self):
         sim = Simulator()
-        qdisc = make_per_flow_limiter(1e6, 0.03)  # 1 Mb/s per flow
+        qdisc = make_qdisc("perflow", rate_bps=1e6, rtt_s=0.03)  # 1 Mb/s per flow
         link = Link(sim, "l", 100e6, 0.005, qdisc)
         captures = {}
         for flow in ("a", "b"):
@@ -37,7 +37,7 @@ class TestPerFlowOnLink:
 
     def test_two_flows_in_one_bucket_share_it(self):
         sim = Simulator()
-        qdisc = make_per_flow_limiter(1e6, 0.03)
+        qdisc = make_qdisc("perflow", rate_bps=1e6, rtt_s=0.03)
         link = Link(sim, "l", 100e6, 0.005, qdisc)
         received = []
         for i in range(2):
@@ -57,7 +57,7 @@ class TestPerFlowOnLink:
 
     def test_unmarked_flow_unaffected(self):
         sim = Simulator()
-        qdisc = make_per_flow_limiter(1e6, 0.03)
+        qdisc = make_qdisc("perflow", rate_bps=1e6, rtt_s=0.03)
         link = Link(sim, "l", 100e6, 0.005, qdisc)
         receiver = UdpReceiver(sim, "c", FlowCapture())
         UdpSender(

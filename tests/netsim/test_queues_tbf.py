@@ -4,11 +4,8 @@ import pytest
 
 from repro.netsim.packet import DATA, Packet
 from repro.netsim.queues import DropTailQueue
-from repro.netsim.token_bucket import (
-    DualClassQdisc,
-    TokenBucketFilter,
-    make_rate_limiter,
-)
+from repro.netsim.qdisc import make_qdisc
+from repro.netsim.token_bucket import DualClassQdisc, TokenBucketFilter
 
 
 def packet(size=1500, dscp=0, flow="f"):
@@ -112,14 +109,14 @@ class TestTokenBucketFilter:
 
 class TestDualClassQdisc:
     def test_classifier_separates_traffic(self):
-        qdisc = make_rate_limiter(8e6, 0.035)
+        qdisc = make_qdisc("tbf", rate_bps=8e6, rtt_s=0.035)
         qdisc.enqueue(packet(dscp=1), 0.0)
         qdisc.enqueue(packet(dscp=0), 0.0)
         assert len(qdisc.tbf) == 1
         assert len(qdisc.fifo) == 1
 
     def test_round_robin_alternates(self):
-        qdisc = make_rate_limiter(80e6, 0.1)  # plenty of tokens
+        qdisc = make_qdisc("tbf", rate_bps=80e6, rtt_s=0.1)  # plenty of tokens
         marked = [packet(dscp=1, flow=f"m{i}") for i in range(3)]
         unmarked = [packet(dscp=0, flow=f"u{i}") for i in range(3)]
         for p in marked + unmarked:
@@ -156,7 +153,7 @@ class TestDualClassQdisc:
         assert wake is not None and wake > 0.0
 
     def test_custom_classifier(self):
-        qdisc = make_rate_limiter(8e6, 0.035)
+        qdisc = make_qdisc("tbf", rate_bps=8e6, rtt_s=0.035)
         def classify_video(p):
             return p.flow_id.startswith("video")
 
@@ -166,6 +163,6 @@ class TestDualClassQdisc:
         assert len(qdisc.tbf) == 1
         assert len(qdisc.fifo) == 1
 
-    def test_make_rate_limiter_burst_rule(self):
-        qdisc = make_rate_limiter(10e6, 0.04, queue_factor=0.5)
+    def test_device_burst_rule(self):
+        qdisc = make_qdisc("tbf", rate_bps=10e6, rtt_s=0.04, queue_factor=0.5)
         assert qdisc.tbf.burst_bytes == int(10e6 * 0.04 / 8.0)

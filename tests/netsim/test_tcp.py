@@ -8,7 +8,7 @@ from repro.netsim.link import Link
 from repro.netsim.path import DirectPath, Path
 from repro.netsim.queues import DropTailQueue
 from repro.netsim.tcp import MSS, TcpReceiver, TcpSender
-from repro.netsim.token_bucket import make_rate_limiter
+from repro.netsim.qdisc import make_qdisc
 
 
 def build_flow(
@@ -99,7 +99,7 @@ class TestCongestionResponse:
 
     def test_throttled_flow_respects_rate_limiter(self):
         sim = Simulator()
-        qdisc = make_rate_limiter(2e6, 0.02, queue_factor=0.5)
+        qdisc = make_qdisc("tbf", rate_bps=2e6, rtt_s=0.02, queue_factor=0.5)
         sender, _, capture, _ = build_flow(
             sim, bandwidth=100e6, qdisc=qdisc, stop_at=20.0, dscp=1
         )
@@ -110,7 +110,7 @@ class TestCongestionResponse:
 
     def test_unmarked_flow_bypasses_rate_limiter(self):
         sim = Simulator()
-        qdisc = make_rate_limiter(2e6, 0.02)
+        qdisc = make_qdisc("tbf", rate_bps=2e6, rtt_s=0.02)
         sender, _, capture, _ = build_flow(
             sim, bandwidth=20e6, qdisc=qdisc, stop_at=5.0, dscp=0
         )

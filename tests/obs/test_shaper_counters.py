@@ -1,0 +1,112 @@
+"""Double-entry cross-checks for the shaper-zoo counters.
+
+Each zoo mechanism keeps mechanism-specific aggregates
+(``shaper_stats``) that the harvest books as ``netsim.<suffix>``
+totals; the live hot-path counters (booked per event) must agree
+exactly with the harvested aggregates.
+"""
+
+from repro.netsim.packet import DATA, Packet
+from repro.netsim.qdisc import make_qdisc
+from repro.obs import metrics as obs_metrics
+from repro.obs.harvest import harvest_qdisc
+
+
+def _drive(device, n=400, gap=0.0005, drain_every=5):
+    now = 0.0
+    for i in range(n):
+        device.enqueue(
+            Packet(f"f{i % 7}", DATA, i, 1500, dscp=i % 3 != 0), now
+        )
+        if i % drain_every == 0:
+            device.dequeue(now)
+        now += gap
+    while True:
+        got, wake = device.dequeue(now)
+        if got is None:
+            if wake is None or wake > now + 30.0:
+                break
+            now = wake
+
+
+def _metered_run(name, **params):
+    sink = obs_metrics.MetricsSink()
+    with obs_metrics.use_sink(sink):
+        device = make_qdisc(name, rate_bps=1e6, fifo_capacity=30_000, **params)
+        _drive(device)
+        harvest_qdisc(sink, device)
+    return device, sink.snapshot()["counters"]
+
+
+class TestShaperDoubleEntry:
+    def test_red_early_drops(self):
+        device, counters = _metered_run("red", seed=1)
+        assert counters["netsim.red.early_drops"] > 0
+        assert (
+            counters["netsim.red.early_drops"]
+            == counters["netsim.red.early_drops_total"]
+            == device.tbf.early_drops
+        )
+        assert (
+            counters["netsim.red.early_drop_bytes_total"]
+            == device.tbf.early_drop_bytes
+        )
+
+    def test_ecn_marks(self):
+        device, counters = _metered_run("ecn", seed=1)
+        assert counters["netsim.red.ecn_marks"] > 0
+        assert (
+            counters["netsim.red.ecn_marks"]
+            == counters["netsim.red.ecn_marks_total"]
+            == device.tbf.ecn_marks
+        )
+
+    def test_codel_drops(self):
+        device, counters = _metered_run("codel")
+        assert counters["netsim.codel.drops"] > 0
+        assert (
+            counters["netsim.codel.drops"]
+            == counters["netsim.codel.drops_total"]
+            == device.tbf.codel_drops
+        )
+
+    def test_pie_early_drops(self):
+        device, counters = _metered_run("pie", seed=1)
+        assert counters["netsim.pie.early_drops"] > 0
+        assert (
+            counters["netsim.pie.early_drops"]
+            == counters["netsim.pie.early_drops_total"]
+            == device.tbf.early_drops
+        )
+
+    def test_dual_tbf_peak_deferrals(self):
+        # A huge boost keeps the CIR bucket full of tokens, so the
+        # small peak bucket is what defers dequeues.
+        device, counters = _metered_run(
+            "dual_tbf", rtt_s=0.01, peak_factor=2.0, boost_bytes=1_500_000
+        )
+        assert counters["netsim.tbf.peak_deferrals"] > 0
+        assert (
+            counters["netsim.tbf.peak_deferrals"]
+            == counters["netsim.tbf.peak_deferrals_total"]
+            == device.tbf.peak_deferrals
+        )
+
+    def test_conditional_trips(self):
+        device, counters = _metered_run("conditional", trigger_bytes=30_000)
+        assert device.tbf.tripped
+        assert (
+            counters["netsim.conditional.trips"]
+            == counters["netsim.conditional.trips_total"]
+            == 1
+        )
+
+    def test_drop_bytes_totals_match_queue_books(self):
+        device, counters = _metered_run("red", seed=1)
+        assert (
+            counters["netsim.tbf.drops_bytes_total"] == device.tbf.drops_bytes
+        )
+        assert (
+            counters["netsim.fifo.drops_bytes_total"]
+            == device.fifo.drops_bytes
+        )

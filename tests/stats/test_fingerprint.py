@@ -1,0 +1,158 @@
+"""Tests for the shaper fingerprinter (repro.stats.fingerprint)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.fingerprint import (
+    DEFAULT_SHAPERS,
+    FEATURE_NAMES,
+    FingerprintReport,
+    NearestCentroidClassifier,
+    fingerprint_bottleneck,
+    probe_config,
+    probe_features,
+    replay_features,
+)
+
+
+def synthetic_clusters(seed=0):
+    """Three well-separated Gaussian blobs in feature space."""
+    rng = np.random.default_rng(seed)
+    centers = {"a": 0.0, "b": 10.0, "c": -10.0}
+    features, labels = [], []
+    for label, center in centers.items():
+        for _ in range(8):
+            features.append(center + rng.normal(0, 0.5, len(FEATURE_NAMES)))
+            labels.append(label)
+    return np.asarray(features), labels
+
+
+class TestNearestCentroidClassifier:
+    def test_fit_predict_separable_clusters(self):
+        features, labels = synthetic_clusters()
+        clf = NearestCentroidClassifier().fit(features, labels)
+        assert clf.fitted
+        assert clf.classes_ == ("a", "b", "c")
+        for vector, label in zip(features, labels):
+            assert clf.predict(vector) == label
+
+    def test_unfitted_refuses_to_predict(self):
+        clf = NearestCentroidClassifier()
+        assert not clf.fitted
+        with pytest.raises(ValueError):
+            clf.predict(np.zeros(len(FEATURE_NAMES)))
+
+    def test_distances_cover_all_classes(self):
+        features, labels = synthetic_clusters()
+        clf = NearestCentroidClassifier().fit(features, labels)
+        distances = clf.distances(features[0])
+        assert set(distances) == {"a", "b", "c"}
+        assert min(distances, key=distances.get) == "a"
+
+    def test_groups_partition_the_model(self):
+        features, labels = synthetic_clusters()
+        groups = ["tcp" if lab != "c" else "udp" for lab in labels]
+        clf = NearestCentroidClassifier().fit(features, labels, groups=groups)
+        assert clf.group_names == ("tcp", "udp")
+        # A tcp sample is matched only against tcp centroids.
+        assert set(clf.distances(features[0], group="tcp")) == {"a", "b"}
+        assert clf.predict(features[-1], group="udp") == "c"
+
+    def test_unknown_group_raises(self):
+        features, labels = synthetic_clusters()
+        groups = ["tcp"] * len(labels)
+        clf = NearestCentroidClassifier().fit(features, labels, groups=groups)
+        with pytest.raises(ValueError, match="unknown group"):
+            clf.predict(features[0], group="udp")
+
+    def test_serialization_round_trip(self):
+        features, labels = synthetic_clusters()
+        groups = ["tcp" if lab != "c" else "udp" for lab in labels]
+        clf = NearestCentroidClassifier().fit(features, labels, groups=groups)
+        restored = NearestCentroidClassifier.from_dict(clf.to_dict())
+        assert restored.group_names == clf.group_names
+        assert restored.classes_ == clf.classes_
+        for vector, group in zip(features, groups):
+            want = clf.distances(vector, group=group)
+            got = restored.distances(vector, group=group)
+            assert got == pytest.approx(want)
+
+    def test_predict_many_matches_predict(self):
+        features, labels = synthetic_clusters()
+        clf = NearestCentroidClassifier().fit(features, labels)
+        many = clf.predict_many(features)
+        assert many == [clf.predict(v) for v in features]
+
+    def test_zero_variance_feature_does_not_break_fit(self):
+        features, labels = synthetic_clusters()
+        features[:, 3] = 42.0
+        clf = NearestCentroidClassifier().fit(features, labels)
+        assert clf.predict(features[0]) == labels[0]
+
+
+class TestProbeConfig:
+    def test_defaults_for_fingerprinting(self):
+        config = probe_config("red", seed=3)
+        assert config.shaper == "red"
+        assert config.seed == 3
+        assert config.limiter == "common"
+        assert config.background_share == 0.25
+
+    def test_overrides_pass_through(self):
+        config = probe_config("tbf", duration=4.0, background_share=0.5)
+        assert config.duration == 4.0
+        assert config.background_share == 0.5
+
+    def test_default_shapers_are_registered(self):
+        from repro.netsim.qdisc import registered_qdiscs
+
+        assert set(DEFAULT_SHAPERS) <= set(registered_qdiscs())
+
+
+class TestReplayFeatures:
+    def test_requires_exactly_two_handles(self):
+        with pytest.raises(ValueError, match="two simultaneous"):
+            replay_features([], 10.0)
+
+    def test_probe_features_vector_shape_and_determinism(self):
+        config = probe_config("tbf", app="zoom", seed=0, duration=4.0)
+        vector = probe_features(config)
+        assert vector.shape == (len(FEATURE_NAMES),)
+        assert np.all(np.isfinite(vector))
+        again = probe_features(config)
+        assert np.array_equal(vector, again)
+
+
+class TestFingerprintReport:
+    def test_margin_and_classified(self):
+        report = FingerprintReport(
+            shaper="red", distances={"red": 1.0, "tbf": 3.5, "pie": 4.0}
+        )
+        assert report.classified
+        assert report.margin() == pytest.approx(2.5)
+        assert FingerprintReport().margin() == 0.0
+        assert not FingerprintReport(reason="not-localized").classified
+
+
+class TestFingerprintBottleneck:
+    class _StubReport:
+        def __init__(self, localized):
+            self.localized = localized
+
+    class _StubService:
+        last_simultaneous_handles = ()
+        last_environment = None
+
+    def test_not_localized_short_circuits(self):
+        result = fingerprint_bottleneck(
+            self._StubReport(False), self._StubService(), None
+        )
+        assert result.reason == "not-localized"
+        assert not result.classified
+
+    def test_no_replay_short_circuits(self):
+        result = fingerprint_bottleneck(
+            self._StubReport(True), self._StubService(), None
+        )
+        assert result.reason == "no-replay"
+        assert not result.classified

@@ -32,6 +32,8 @@ FIELD_CHANGES = {
     "overcount_rate": 0.01,
     "registration_jitter": 0.001,
     "fidelity": "hybrid",
+    "shaper": "red",
+    "shaper_params": (("max_p", 0.2),),
 }
 
 
@@ -46,6 +48,13 @@ class TestDetectionKeyStability:
         fields = {f.name for f in dataclasses.fields(ScenarioConfig)}
         assert fields == set(FIELD_CHANGES), "keep FIELD_CHANGES exhaustive"
         for field, value in FIELD_CHANGES.items():
+            if field == "shaper_params":
+                # shaper_params is only legal alongside a shaper; its
+                # sensitivity is relative to the shaped base.
+                shaped_key = detection_cache_key(BASE.with_(shaper="red"))
+                changed = BASE.with_(shaper="red", **{field: value})
+                assert detection_cache_key(changed) != shaped_key, field
+                continue
             changed = BASE.with_(**{field: value})
             assert detection_cache_key(changed) != base_key, field
 
@@ -66,6 +75,37 @@ class TestDetectionKeyStability:
 
     def test_kinds_do_not_collide(self):
         assert detection_cache_key(BASE) != tdiff_cache_key(BASE)
+
+
+class TestShaperKeyCompat:
+    """The mechanism axis must not shift pre-shaper cache keys."""
+
+    def test_default_shaper_key_matches_legacy_dict(self):
+        from repro.store.serialize import config_from_dict, config_to_dict
+
+        data = config_to_dict(BASE)
+        assert "shaper" not in data
+        assert "shaper_params" not in data
+        # A record written before the shaper axis existed deserializes
+        # to the same config, hence the same key.
+        assert config_from_dict(data) == BASE
+        assert detection_cache_key(config_from_dict(data)) == detection_cache_key(
+            BASE
+        )
+
+    def test_shaper_round_trips_and_changes_key(self):
+        from repro.store.serialize import config_from_dict, config_to_dict
+
+        shaped = BASE.with_(shaper="red", shaper_params=(("max_p", 0.2),))
+        data = config_to_dict(shaped)
+        assert data["shaper"] == "red"
+        assert config_from_dict(data) == shaped
+        assert detection_cache_key(shaped) != detection_cache_key(BASE)
+
+    def test_shaper_params_order_matters(self):
+        a = BASE.with_(shaper="red", shaper_params=(("max_p", 0.2),))
+        b = BASE.with_(shaper="red", shaper_params=(("max_p", 0.3),))
+        assert detection_cache_key(a) != detection_cache_key(b)
 
 
 class TestFaultProfileId:

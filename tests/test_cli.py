@@ -80,3 +80,67 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "FN rate:" in out
+
+
+class TestShaperArguments:
+    def test_shaper_defaults_to_none(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.shaper is None
+        assert args.shaper_params is None
+
+    def test_shaper_and_params_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--shaper", "red", "--shaper-params", "max_p=0.2,w_q=0.1"]
+        )
+        assert args.shaper == "red"
+        assert args.shaper_params == "max_p=0.2,w_q=0.1"
+
+    def test_param_value_coercion(self):
+        from repro.cli import _parse_shaper_params
+
+        assert _parse_shaper_params("max_p=0.2,count=3,ecn=true,name=x") == (
+            ("max_p", 0.2),
+            ("count", 3),
+            ("ecn", True),
+            ("name", "x"),
+        )
+
+    def test_malformed_params_are_a_usage_error(self, capsys):
+        code = main(
+            ["sweep", "--app", "zoom", "--seeds", "1", "--duration", "4",
+             "--shaper", "red", "--shaper-params", "nonsense"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_shaper_is_a_usage_error(self, capsys):
+        code = main(
+            ["sweep", "--app", "zoom", "--seeds", "1", "--duration", "4",
+             "--shaper", "wfq"]
+        )
+        assert code == 2
+        assert "unknown qdisc" in capsys.readouterr().err
+
+    def test_sweep_with_shaper_runs(self, capsys):
+        code = main(
+            ["sweep", "--app", "zoom", "--limiter", "common", "--seeds", "1",
+             "--duration", "4", "--shaper", "red"]
+        )
+        assert code == 0
+        assert "FN rate:" in capsys.readouterr().out
+
+
+class TestQdiscCommand:
+    def test_lists_registered_mechanisms(self, capsys):
+        code = main(["qdisc"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("tbf", "red", "codel", "pie", "dual_tbf", "conditional"):
+            assert name in out
+
+    def test_build_smoke(self, capsys):
+        code = main(["qdisc", "--build"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert "FAILED" not in out

@@ -52,6 +52,103 @@ class TestTokenBucketProperties:
         assert tbf.tokens(when) <= 5000
 
 
+class TestQdiscProperties:
+    MECHANISMS = ("tbf", "red", "ecn", "codel", "pie", "dual_tbf", "conditional")
+
+    @given(
+        mechanism=st.sampled_from(MECHANISMS),
+        rate=st.floats(min_value=5e5, max_value=2e7),
+        n_packets=st.integers(min_value=1, max_value=120),
+        gap=st.floats(min_value=1e-5, max_value=0.01),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_every_mechanism_conserves_packets(
+        self, mechanism, rate, n_packets, gap, seed
+    ):
+        from repro.netsim.qdisc import make_qdisc
+
+        device = make_qdisc(
+            mechanism, rate_bps=rate, fifo_capacity=30_000, seed=seed
+        ) if mechanism in ("red", "ecn", "pie") else make_qdisc(
+            mechanism, rate_bps=rate, fifo_capacity=30_000
+        )
+        accepted = rejected = dequeued = 0
+        now = 0.0
+        for i in range(n_packets):
+            ok = device.enqueue(
+                Packet(f"f{i % 5}", DATA, i, 1500, dscp=i % 3 != 0), now
+            )
+            accepted += ok
+            rejected += not ok
+            if i % 4 == 0:
+                got, _ = device.dequeue(now)
+                dequeued += got is not None
+            now += gap
+        while True:
+            got, wake = device.dequeue(now)
+            if got is not None:
+                dequeued += 1
+            elif wake is None:
+                break
+            else:
+                now = wake
+        head_drops = device.drops - rejected
+        assert head_drops >= 0
+        assert accepted == dequeued + head_drops + len(device)
+        assert device.drops_bytes == device.drops * 1500
+
+    @given(
+        mechanism=st.sampled_from(MECHANISMS),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_seeded_device_is_byte_deterministic(self, mechanism, seed):
+        from repro.netsim.qdisc import make_qdisc
+
+        def run():
+            kwargs = {"rate_bps": 1e6, "fifo_capacity": 30_000}
+            if mechanism in ("red", "ecn", "pie"):
+                kwargs["seed"] = seed
+            device = make_qdisc(mechanism, **kwargs)
+            now = 0.0
+            for i in range(150):
+                device.enqueue(
+                    Packet(f"f{i % 5}", DATA, i, 1500, dscp=i % 4 != 0), now
+                )
+                if i % 3 == 0:
+                    device.dequeue(now)
+                now += 0.0004
+            return (device.drops, device.drops_bytes,
+                    device.backlog_bytes, len(device))
+
+        assert run() == run()
+
+    @given(
+        shaper=st.sampled_from(MECHANISMS),
+        params=st.sampled_from(
+            (
+                (),
+                (("rtt_s", 0.05),),
+                (("queue_factor", 1.0), ("fifo_capacity", 250_000)),
+            )
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_shaper_config_round_trips_through_serialization(
+        self, shaper, params
+    ):
+        from repro.experiments.scenarios import ScenarioConfig
+        from repro.store.serialize import config_from_dict, config_to_dict
+
+        config = ScenarioConfig(
+            app="netflix", duration=5.0, shaper=shaper, shaper_params=params
+        )
+        restored = config_from_dict(config_to_dict(config))
+        assert restored == config
+        assert restored.shaper_params == params
+
+
 class TestEcdfProperties:
     @given(st.lists(finite_floats, min_size=1, max_size=200))
     @settings(max_examples=80)
