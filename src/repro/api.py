@@ -101,6 +101,8 @@ class SweepRequest:
         fidelity=None,
         shaper=None,
         shaper_params=None,
+        multipath=None,
+        flowlet_gap_s=None,
         jobs=None,
         store=None,
         no_cache=False,
@@ -120,7 +122,8 @@ class SweepRequest:
         every config's own fidelity field -- the sweep-wide knob behind
         ``repro sweep --fidelity``.  ``shaper`` / ``shaper_params``
         likewise override the mechanism axis on every config (the knob
-        behind ``repro sweep --shaper``).
+        behind ``repro sweep --shaper``), and ``multipath`` /
+        ``flowlet_gap_s`` the ECMP axis (``repro sweep --multipath``).
         """
         configs = list(configs)
         if fidelity is not None:
@@ -132,6 +135,13 @@ class SweepRequest:
             configs = [config.with_(**overrides) for config in configs]
         elif shaper_params is not None:
             raise ValueError("shaper_params requires a shaper")
+        if multipath is not None:
+            overrides = {"multipath": int(multipath)}
+            if flowlet_gap_s is not None:
+                overrides["flowlet_gap_s"] = float(flowlet_gap_s)
+            configs = [config.with_(**overrides) for config in configs]
+        elif flowlet_gap_s is not None:
+            raise ValueError("flowlet_gap_s requires multipath")
         return cls(
             kind="detection",
             params={

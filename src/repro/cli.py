@@ -71,6 +71,18 @@ def _add_scenario_arguments(parser):
         help="mechanism parameters, e.g. 'max_p=0.2,ecn=true' "
              "(requires --shaper)",
     )
+    parser.add_argument(
+        "--multipath", type=int, default=0, metavar="N",
+        help="model the ISP's common device as an N-member ECMP bundle "
+             "(the two replays co-hash with probability 1/N); 0 keeps "
+             "the classic single common link",
+    )
+    parser.add_argument(
+        "--flowlet-gap", type=float, default=None, metavar="SECONDS",
+        help="flowlet re-hash gap: a flow pausing longer than this "
+             "re-hashes onto a (possibly different) member "
+             "(requires --multipath)",
+    )
 
 
 def _parse_shaper_params(text):
@@ -113,6 +125,8 @@ def _scenario_from(args):
         fidelity=args.fidelity,
         shaper=getattr(args, "shaper", None),
         shaper_params=shaper_params,
+        multipath=getattr(args, "multipath", 0) or 0,
+        flowlet_gap_s=getattr(args, "flowlet_gap", None),
     )
 
 
@@ -125,7 +139,11 @@ def cmd_localize(args):
     injector = None
     if args.fault_profile and args.fault_profile != "none":
         injector = FaultInjector.from_spec(args.fault_profile, seed=args.seed)
-    localizer = WeHeYLocalizer(np.random.default_rng(args.seed), default_tdiff())
+    localizer = WeHeYLocalizer(
+        np.random.default_rng(args.seed),
+        default_tdiff(),
+        multipath_aware=config.multipath >= 2,
+    )
     attempts_allowed = args.max_retries + 1
     report = None
     for attempt in range(attempts_allowed):

@@ -32,8 +32,11 @@ import zlib
 from collections import Counter, deque
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.localizer import WeHeYLocalizer
 from repro.experiments.runner import NetsimReplayService
+from repro.netsim.multipath import EPHEMERAL_PORT_HI, EPHEMERAL_PORT_LO
 from repro.obs import metrics as _obs
 from repro.obs import span as _span
 from repro.faults import (
@@ -91,6 +94,9 @@ class AttemptRecord:
     failure: CoordinationStatus  # None when the attempt succeeded
     reason: str
     backoff_s: float = 0.0
+    #: the ephemeral source-port pair drawn for a multipath re-hash
+    #: retry (None for ordinary attempts using derived default ports).
+    ports: tuple = None
 
 
 @dataclass(frozen=True)
@@ -205,6 +211,7 @@ class WeHeYCoordinator:
         clock=time.monotonic,
         sleep=None,
         preflight_verify=False,
+        multipath_rehash_retries=4,
     ):
         self.internet = internet
         self.database = database
@@ -218,6 +225,13 @@ class WeHeYCoordinator:
         self._clock = clock
         self._sleep = sleep
         self.preflight_verify = preflight_verify
+        # Wehe's port-change tactic, mirrored: when the localizer
+        # reports multipath-suspect / flowlet-split, re-draw the client
+        # ephemeral ports (forcing a fresh ECMP hash) and rerun, at
+        # most this many times per attempt.  Seeded draws -- every
+        # retry's port tuple is reproducible per (scenario seed,
+        # client, attempt).
+        self.multipath_rehash_retries = multipath_rehash_retries
 
     def run_test(self, client_name, app="netflix"):
         """One full WeHeY invocation for ``client_name``.
@@ -301,9 +315,21 @@ class WeHeYCoordinator:
 
             budget.charge_attempt()
             self.telemetry["attempts"] += 1
-            failure, reason, localization = self._attempt(
+            failure, reason, localization, rehashes = self._attempt(
                 client, entry, app, budget.attempts_used - 1
             )
+            for ports, reason_code in rehashes:
+                # One audit-log entry per port-redraw retry: which
+                # tuple was drawn and what the localizer said to it.
+                attempts.append(
+                    AttemptRecord(
+                        index=len(attempts),
+                        server_pair=entry.server_pair,
+                        failure=None,
+                        reason=f"multipath re-hash retry -> {reason_code}",
+                        ports=ports,
+                    )
+                )
 
             if failure is None:
                 attempts.append(
@@ -369,11 +395,14 @@ class WeHeYCoordinator:
         )
 
     def _attempt(self, client, entry, app, attempt_index):
-        """One attempt; returns ``(failure, reason, localization)``.
+        """One attempt; returns ``(failure, reason, localization, rehashes)``.
 
         ``failure`` is ``None`` on success, otherwise the
         :class:`CoordinationStatus` classifying what went wrong.
+        ``rehashes`` is the multipath re-hash audit trail: one
+        ``(ports, reason_code)`` pair per port-redraw retry, in order.
         """
+        rehashes = []
         try:
             rtt_1, rtt_2 = rtts_from_traceroutes(
                 self.internet,
@@ -384,24 +413,44 @@ class WeHeYCoordinator:
                 telemetry=self.telemetry,
             )
         except TracerouteTimeoutError as exc:
-            return CoordinationStatus.TRACEROUTE_FAILED, str(exc), None
+            return CoordinationStatus.TRACEROUTE_FAILED, str(exc), None, rehashes
 
         config = self.scenario.with_(
             rtt_1=max(rtt_1, 0.01), rtt_2=max(rtt_2, 0.01)
         )
-        service = NetsimReplayService(
-            config,
-            entropy=replay_entropy(client.name, attempt_index),
-            fault_injector=self.fault_injector,
-        )
-        trace = make_trace(app, config.duration, service._trace_rng)
-        localizer = WeHeYLocalizer(self.rng, self.tdiff)
+        # A 1-member bundle is byte-identical to a plain link, so
+        # suspicion heuristics only arm on genuinely multipath devices.
+        multipath_aware = getattr(config, "multipath", 0) >= 2
+
+        def run_localization(replay_ports):
+            service = NetsimReplayService(
+                config,
+                entropy=replay_entropy(client.name, attempt_index),
+                fault_injector=self.fault_injector,
+                replay_ports=replay_ports,
+            )
+            trace = make_trace(app, config.duration, service._trace_rng)
+            localizer = WeHeYLocalizer(
+                self.rng, self.tdiff, multipath_aware=multipath_aware
+            )
+            return localizer.localize(service, trace, bit_invert(trace))
+
         try:
-            report = localizer.localize(service, trace, bit_invert(trace))
+            report = run_localization(None)
         except ReplayAbortedError as exc:
-            return CoordinationStatus.REPLAY_FAILED, str(exc), None
+            return CoordinationStatus.REPLAY_FAILED, str(exc), None, rehashes
         if report.invalid:
-            return CoordinationStatus.INVALID_MEASUREMENTS, report.reason_code, report
+            return (
+                CoordinationStatus.INVALID_MEASUREMENTS,
+                report.reason_code,
+                report,
+                rehashes,
+            )
+
+        if report.multipath_suspect and self.multipath_rehash_retries > 0:
+            report = self._rehash_recovery(
+                report, run_localization, client, attempt_index, rehashes
+            )
 
         # Section 3.4, step 4: re-verify the topology after the replays.
         if not self.verifier.verify(entry, client.name):
@@ -409,8 +458,66 @@ class WeHeYCoordinator:
                 CoordinationStatus.DISCARDED_TOPOLOGY_CHANGED,
                 "routes changed during the test",
                 None,
+                rehashes,
             )
-        return None, "completed", report
+        return None, "completed", report, rehashes
+
+    def _rehash_recovery(self, report, run_localization, client, attempt_index,
+                         rehashes):
+        """Bounded port-redraw retries after a multipath-suspect report.
+
+        Each retry re-draws both replays' ephemeral source ports, which
+        re-hashes them across the bundle; with N members a draw
+        co-hashes them with probability 1/N, so a small budget almost
+        surely lands at least one genuinely-shared attempt.  The chain
+        persists until a *localized* verdict (recovery) or the budget
+        runs out: once suspicion is established, a single re-hash draw
+        that comes back empty-handed (``no-common-bottleneck``,
+        ``not-confirmed-both-paths``) may itself be split-path
+        collateral, so it never overwrites the suspect finding.
+
+        The port stream is seeded from ``(scenario seed, client,
+        attempt)`` -- its own :class:`~numpy.random.SeedSequence`
+        branch, so drawing ports never perturbs ``self.rng`` (which
+        feeds the localizer's Monte-Carlo subsampling).  An exhausted
+        budget keeps the honest suspect report: COMPLETED, with the
+        suspicion as the finding.
+        """
+        ports_rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [0xEC49, self.scenario.seed,
+                 replay_entropy(client.name, attempt_index)]
+            )
+        )
+        for _ in range(self.multipath_rehash_retries):
+            ports = tuple(
+                int(port)
+                for port in ports_rng.integers(
+                    EPHEMERAL_PORT_LO, EPHEMERAL_PORT_HI + 1, size=2
+                )
+            )
+            self.telemetry["multipath_retries"] += 1
+            if _obs.ENABLED:
+                _obs.SINK.inc("coordinator.multipath_retries")
+            try:
+                retried = run_localization(ports)
+            except ReplayAbortedError:
+                # The retry replay died; keep the last honest report.
+                rehashes.append((ports, "replay-aborted"))
+                break
+            rehashes.append((ports, retried.reason_code))
+            if retried.invalid:
+                break
+            if retried.localized:
+                report = retried
+                self.telemetry["multipath_recovered"] += 1
+                if _obs.ENABLED:
+                    _obs.SINK.inc("coordinator.multipath_recovered")
+                break
+            if retried.multipath_suspect:
+                # Suspicion stands; keep the freshest suspect evidence.
+                report = retried
+        return report
 
     @staticmethod
     def _terminal_status(attempts):

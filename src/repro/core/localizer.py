@@ -59,6 +59,19 @@ INVALID_REASON_PREFIX = "invalid:"
 #: comparison's Monte-Carlo subsampling needs at least this many).
 MIN_THROUGHPUT_SAMPLES = 4
 
+#: Reason codes for suspected ECMP/flowlet confounding (emitted only
+#: when the localizer runs ``multipath_aware``): the evidence pattern
+#: is inconsistent with a single shared device, so instead of a
+#: confident verdict the report asks for a port re-draw (the
+#: coordinator's re-hash recovery keys on these codes).
+MULTIPATH_SUSPECT = "multipath-suspect"
+FLOWLET_SPLIT = "flowlet-split"
+SUSPECT_REASON_CODES = frozenset({MULTIPATH_SUSPECT, FLOWLET_SPLIT})
+
+#: Fewest per-path transmissions each half-test window needs before the
+#: flowlet regime-change check is meaningful.
+MIN_WINDOW_PACKETS = 50
+
 
 @dataclass(frozen=True)
 class LocalizationReport:
@@ -78,6 +91,10 @@ class LocalizationReport:
     throughput_result: object = None
     loss_result: object = None
     reason_code: str = ""
+    #: for multipath-suspect reports: the code the localizer would have
+    #: emitted with suspect detection off (lets the perf harness derive
+    #: the detection-off degradation curve without re-simulating).
+    fallback_reason_code: str = ""
 
     @property
     def localized(self):
@@ -87,6 +104,11 @@ class LocalizationReport:
     def invalid(self):
         """True iff the inputs were unusable (vs. a genuine no-evidence)."""
         return self.reason_code.startswith(INVALID_REASON_PREFIX)
+
+    @property
+    def multipath_suspect(self):
+        """True iff the report asks for a re-hash instead of a verdict."""
+        return self.reason_code in SUSPECT_REASON_CODES
 
 
 def _sample_problem(samples, label):
@@ -163,6 +185,14 @@ class WeHeYLocalizer:
             throughput comparison.
         skip_throughput_comparison / skip_loss_correlation: disable one
             detector (used by the evaluation to study them separately).
+        multipath_aware: degrade gracefully under ECMP/flowlet
+            confounding -- when the evidence pattern is inconsistent
+            with one shared device, return ``multipath-suspect`` /
+            ``flowlet-split`` instead of a confident wrong verdict.
+            Off by default: the legacy pipeline's reports (and bytes)
+            are untouched unless the caller opts in.
+        suspect_asymmetry / suspect_aggregate_ratio: thresholds of the
+            multipath-suspect rules (see ``_multipath_suspicion``).
     """
 
     def __init__(
@@ -173,6 +203,9 @@ class WeHeYLocalizer:
         alpha=0.05,
         skip_throughput_comparison=False,
         skip_loss_correlation=False,
+        multipath_aware=False,
+        suspect_asymmetry=0.12,
+        suspect_aggregate_ratio=2.8,
     ):
         self.rng = rng
         self.tdiff = tdiff
@@ -181,6 +214,9 @@ class WeHeYLocalizer:
         self.loss_correlation = LossTrendCorrelation(fp_rate=fp_rate)
         self.skip_throughput_comparison = skip_throughput_comparison
         self.skip_loss_correlation = skip_loss_correlation
+        self.multipath_aware = multipath_aware
+        self.suspect_asymmetry = suspect_asymmetry
+        self.suspect_aggregate_ratio = suspect_aggregate_ratio
 
     def _invalid(self, code):
         """A NO_EVIDENCE report for unusable inputs (never raises)."""
@@ -213,6 +249,8 @@ class WeHeYLocalizer:
                 _obs.SINK.inc(f"localizer.mechanism.{report.mechanism.value}")
                 if report.invalid:
                     _obs.SINK.inc("localizer.invalid")
+                if report.multipath_suspect:
+                    _obs.SINK.inc(f"localizer.suspect.{report.reason_code}")
             return report
 
     def _localize(self, service, original_trace, inverted_trace):
@@ -245,6 +283,13 @@ class WeHeYLocalizer:
                 confirmation_2=confirmation_2,
             )
 
+        # Suspicion is evaluated before *any* localized verdict: a
+        # split replay pair can fake either evidence pattern, so both
+        # the per-client and the collective branch are vetoable.
+        suspect_code = None
+        if self.multipath_aware:
+            suspect_code = self._multipath_suspicion(x_samples, original_sim)
+
         throughput_result = None
         if not self.skip_throughput_comparison:
             y_samples = aggregate_simultaneous_samples(
@@ -254,6 +299,15 @@ class WeHeYLocalizer:
                 x_samples, y_samples, self.tdiff
             )
             if throughput_result.common_bottleneck:
+                if suspect_code:
+                    return self._suspect_report(
+                        suspect_code,
+                        "per-client-throttling",
+                        confirmation_1,
+                        confirmation_2,
+                        throughput_result,
+                        None,
+                    )
                 return LocalizationReport(
                     outcome=LocalizationOutcome.EVIDENCE_IN_TARGET_AREA,
                     mechanism=Mechanism.PER_CLIENT_THROTTLING,
@@ -270,6 +324,20 @@ class WeHeYLocalizer:
                 original_sim.measurements_1, original_sim.measurements_2
             )
             if loss_result.common_bottleneck:
+                if suspect_code:
+                    # The correlation fired, but the throughput pattern
+                    # (or a mid-test regime change) says the two paths
+                    # cannot share the limiter: a confident collective
+                    # verdict here would localize a device that does
+                    # not exist.  Surface the suspicion instead.
+                    return self._suspect_report(
+                        suspect_code,
+                        "collective-throttling",
+                        confirmation_1,
+                        confirmation_2,
+                        throughput_result,
+                        loss_result,
+                    )
                 return LocalizationReport(
                     outcome=LocalizationOutcome.EVIDENCE_IN_TARGET_AREA,
                     mechanism=Mechanism.COLLECTIVE_THROTTLING,
@@ -281,6 +349,16 @@ class WeHeYLocalizer:
                     loss_result=loss_result,
                 )
 
+        if suspect_code:
+            return self._suspect_report(
+                suspect_code,
+                "no-common-bottleneck",
+                confirmation_1,
+                confirmation_2,
+                throughput_result,
+                loss_result,
+            )
+
         return LocalizationReport(
             outcome=LocalizationOutcome.NO_EVIDENCE,
             mechanism=Mechanism.NONE,
@@ -291,3 +369,97 @@ class WeHeYLocalizer:
             throughput_result=throughput_result,
             loss_result=loss_result,
         )
+
+    def _suspect_report(self, code, fallback_code, confirmation_1,
+                        confirmation_2, throughput_result, loss_result):
+        reasons = {
+            MULTIPATH_SUSPECT: (
+                "per-path throughputs are inconsistent with one shared "
+                "limiter (asymmetric shares or super-additive aggregate; "
+                "ECMP hash collision miss suspected)"
+            ),
+            FLOWLET_SPLIT: (
+                "loss-trend correlation changes regime mid-test -- "
+                "consistent with a flowlet re-hash moving a replay "
+                "between bundle members"
+            ),
+        }
+        return LocalizationReport(
+            outcome=LocalizationOutcome.NO_EVIDENCE,
+            mechanism=Mechanism.NONE,
+            reason=reasons[code],
+            reason_code=code,
+            fallback_reason_code=fallback_code,
+            confirmation_1=confirmation_1,
+            confirmation_2=confirmation_2,
+            throughput_result=throughput_result,
+            loss_result=loss_result,
+        )
+
+    def _multipath_suspicion(self, x_samples, original_sim):
+        """ECMP/flowlet-confounding evidence, or None.
+
+        Rule 1 (``multipath-suspect``, *asymmetry*): two replays
+        sharing one limiter queue receive near-identical shares of its
+        rate -- the qdiscs serve the two identical-pattern flows
+        symmetrically, and empirically the per-path means agree within
+        a few percent of the single-replay mean.  Replays hashed onto
+        *different* members compete against different background mixes,
+        so their means diverge.  A gap above ``suspect_asymmetry``
+        (fraction of the single-replay mean) is evidence of split
+        paths.
+
+        Rule 2 (``multipath-suspect``, *super-additive aggregate*): two
+        replays sharing one limiter cannot jointly exceed what that
+        limiter grants; when the per-path sum is far above the
+        single-replay mean (``suspect_aggregate_ratio`` times it), each
+        path is being throttled by its own device -- duplicate limiter
+        instances on different bundle members, not one shared one.
+
+        Rule 3 (``flowlet-split``): a flowlet re-hash mid-test moves a
+        replay between members, so the loss-trend correlation verdict
+        *changes regime* between the first and second half of the test.
+        A shared device correlates (or not) consistently across halves.
+        """
+        x_mean = float(np.mean(np.asarray(x_samples, dtype=float)))
+        t1 = float(np.mean(np.asarray(original_sim.samples_1, dtype=float)))
+        t2 = float(np.mean(np.asarray(original_sim.samples_2, dtype=float)))
+        if x_mean > 0:
+            if abs(t1 - t2) > self.suspect_asymmetry * x_mean:
+                return MULTIPATH_SUSPECT
+            if t1 + t2 > self.suspect_aggregate_ratio * x_mean:
+                return MULTIPATH_SUSPECT
+        if self._flowlet_regime_change(original_sim):
+            return FLOWLET_SPLIT
+        return None
+
+    def _flowlet_regime_change(self, original_sim):
+        """True iff the two half-test windows disagree on correlation."""
+        from repro.netsim.capture import PathMeasurements
+
+        m1, m2 = original_sim.measurements_1, original_sim.measurements_2
+        lo1, hi1 = m1.time_span()
+        lo2, hi2 = m2.time_span()
+        lo, hi = min(lo1, lo2), max(hi1, hi2)
+        if hi <= lo:
+            return False
+        mid = (lo + hi) / 2.0
+
+        def window(measurements, t0, t1):
+            send = measurements.send_times
+            loss = measurements.loss_times
+            return PathMeasurements(
+                send[(send >= t0) & (send < t1)],
+                loss[(loss >= t0) & (loss < t1)],
+                measurements.rtt,
+            )
+
+        halves = []
+        for t0, t1 in ((lo, mid), (mid, hi)):
+            w1, w2 = window(m1, t0, t1), window(m2, t0, t1)
+            if min(w1.packets_sent, w2.packets_sent) < MIN_WINDOW_PACKETS:
+                return False
+            halves.append(
+                bool(self.loss_correlation.detect(w1, w2).common_bottleneck)
+            )
+        return halves[0] != halves[1]

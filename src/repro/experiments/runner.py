@@ -71,6 +71,12 @@ class _Environment:
             # seeds from the scenario seed, so a cell's shaper behaviour
             # depends only on the cell.
             shaper_seed=config.seed,
+            # ECMP bundle knobs; the hash seed also derives from the
+            # scenario seed, so member assignment is a cell property.
+            multipath_members=getattr(config, "multipath", 0) or 0,
+            flowlet_gap_s=getattr(config, "flowlet_gap_s", None),
+            multipath_shaped=getattr(config, "multipath_shaped", None),
+            multipath_seed=config.seed,
         )
         self.topology = FigureOneTopology(self.sim, topo_config)
         self._attach_background()
@@ -205,7 +211,8 @@ class NetsimReplayService:
     corruption damage otherwise-complete results.
     """
 
-    def __init__(self, config, entropy=0, merge_flows=False, fault_injector=None):
+    def __init__(self, config, entropy=0, merge_flows=False, fault_injector=None,
+                 replay_ports=None, path_flap=None):
         self.config = config
         self._seed_seq = np.random.SeedSequence([config.seed, entropy])
         self._trace_rng = np.random.default_rng(self._seed_seq.spawn(1)[0])
@@ -215,11 +222,40 @@ class NetsimReplayService:
         # simultaneous replays appear to belong to the same flow, so a
         # per-flow policer assigns them the same bucket.
         self.merge_flows = merge_flows
+        # The multipath counterpart of merge_flows: client-chosen
+        # ephemeral source ports, one per path.  An ECMP common device
+        # hashes the replay five-tuples, so re-drawing these ports
+        # (the coordinator's re-hash recovery) re-rolls which member
+        # each replay lands on.  None keeps the derived default tuples.
+        self.replay_ports = replay_ports
+        # A repro.faults.PathFlapInjector armed once per replay run.
+        self.path_flap = path_flap
         self.last_simultaneous_handles = None
         self.last_environment = None
 
     def _new_environment(self):
-        return _Environment(self.config, self._seed_seq.spawn(1)[0])
+        env = _Environment(self.config, self._seed_seq.spawn(1)[0])
+        self._register_ports(env)
+        if self.path_flap is not None:
+            self.path_flap.arm(
+                env.sim, env.topology.link_c, WARMUP, self.config.duration
+            )
+        return env
+
+    def _register_ports(self, env):
+        """Pin the replay flows' five-tuples on a multipath common device."""
+        if self.replay_ports is None:
+            return
+        register = getattr(env.topology.link_c, "register_flow", None)
+        if register is None:
+            return
+        app = self.config.app
+        proto = self.config.protocol
+        for which, sport in zip((1, 2), self.replay_ports):
+            for suffix in ("orig", "inv"):
+                register(f"replay-{app}-{which}-{suffix}", sport, proto=proto)
+        if self.merge_flows:
+            register(f"replay-{app}-merged", self.replay_ports[0], proto=proto)
 
     def single_replay(self, trace):
         """WeHe's p0 replay; returns 100 throughput samples."""

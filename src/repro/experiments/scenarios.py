@@ -64,6 +64,19 @@ class ScenarioConfig:
     #: mechanism parameters as a tuple of ``(name, value)`` pairs
     #: (hashable, so configs stay frozen/hashable).
     shaper_params: tuple = ()
+    #: ECMP member count of the ISP's common device (0 = the classic
+    #: single common link).  With N >= 2 members the two simultaneous
+    #: replays co-hash onto one member with probability 1/N -- the
+    #: common-bottleneck assumption becomes probabilistic.  Part of the
+    #: cache key when set; omitted at the default so every
+    #: pre-multipath record keeps its key.
+    multipath: int = 0
+    #: flowlet re-hash gap in seconds (LetFlow-style switching); None
+    #: keeps classic sticky ECMP.  Requires ``multipath >= 1``.
+    flowlet_gap_s: float = None
+    #: how many bundle members carry the limiter (None = all); the
+    #: subset is a seeded draw per scenario seed.
+    multipath_shaped: int = None
 
     def __post_init__(self):
         if self.app not in APP_SPECS:
@@ -91,6 +104,22 @@ class ScenarioConfig:
                 "shaper_params",
                 tuple(tuple(pair) for pair in self.shaper_params),
             )
+        if self.multipath < 0:
+            raise ValueError("multipath must be non-negative")
+        if self.multipath:
+            if self.fidelity != "packet":
+                raise ValueError("multipath requires fidelity='packet'")
+            if self.flowlet_gap_s is not None and self.flowlet_gap_s <= 0:
+                raise ValueError("flowlet_gap_s must be positive")
+            if self.multipath_shaped is not None and not (
+                1 <= self.multipath_shaped <= self.multipath
+            ):
+                raise ValueError("multipath_shaped must be in [1, multipath]")
+        else:
+            if self.flowlet_gap_s is not None:
+                raise ValueError("flowlet_gap_s requires multipath >= 1")
+            if self.multipath_shaped is not None:
+                raise ValueError("multipath_shaped requires multipath >= 1")
 
     @property
     def protocol(self):
@@ -161,6 +190,26 @@ def congestion_grid(app, seeds, factors=CONGESTION_FACTORS, **common):
             yield ScenarioConfig(
                 app=app, congestion_factor=factor, seed=seed, **common
             )
+
+
+def multipath_grid(app, seeds, member_counts=(1, 2, 4), flowlet_gaps=(None,),
+                   **common):
+    """The ECMP confounder grid: member count x flowlet gap x seeds.
+
+    ``member_counts`` sets the hash-collision probability axis (the two
+    replays co-hash with probability 1/N); ``flowlet_gaps`` adds the
+    mid-test flowlet-split axis (None = sticky ECMP).
+    """
+    for members in member_counts:
+        for gap in flowlet_gaps:
+            for seed in seeds:
+                yield ScenarioConfig(
+                    app=app,
+                    multipath=members,
+                    flowlet_gap_s=gap,
+                    seed=seed,
+                    **common,
+                )
 
 
 def seed_sweep(base_config, seeds):

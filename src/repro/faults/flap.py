@@ -1,0 +1,119 @@
+"""Seeded mid-test path flaps for multipath topologies.
+
+A *path flap* is a member link of an ECMP bundle going down mid-test:
+the device withdraws the member from its hash table and every flow on
+it re-hashes over the survivors -- exactly the event that turns a
+co-hashed (correctly localizable) replay pair into a split one, or
+vice versa, partway through a test.
+
+The schedule reuses the SHA-256 machinery of :mod:`repro.faults.chaos`
+(:func:`~repro.faults.chaos.uniform_draw`): every flap's (fire?, time,
+member) is a pure function of ``(seed, run index)``, so a chaos run
+that flaps run 3 at t=12.7s on member 1 does so on every machine, every
+time.  Arm the injector on a replay service::
+
+    flap = PathFlapInjector(seed=7, probability=0.5)
+    service = NetsimReplayService(config, path_flap=flap)
+
+Each simulator the service builds (single replay, each simultaneous
+replay) counts as one run; runs without a multipath common device arm
+nothing and draw nothing for the fire/time/member decision, so the
+schedule of run N never depends on the topology of runs before it.
+"""
+
+from dataclasses import dataclass
+
+from repro.faults.chaos import uniform_draw
+from repro.obs import metrics as _obs
+
+
+@dataclass(frozen=True)
+class PathFlapPlan:
+    """One scheduled flap: when, and which member goes down."""
+
+    time_s: float
+    member: int
+
+
+def plan_path_flap(seed, run_index, n_members, start_s, duration_s,
+                   window=(0.35, 0.65)):
+    """The deterministic flap plan for one run (pure, no state).
+
+    The flap lands inside ``window`` (fractions of the replay
+    duration), mid-test by default -- early enough that both regimes
+    have data, late enough that the first regime had time to settle.
+    """
+    lo, hi = window
+    fraction = lo + (hi - lo) * uniform_draw(seed, "path_flap", run_index, "time")
+    member = int(
+        uniform_draw(seed, "path_flap", run_index, "member") * n_members
+    ) % n_members
+    return PathFlapPlan(time_s=start_s + fraction * duration_s, member=member)
+
+
+class PathFlapInjector:
+    """Arms one seeded member-link failure per replay run.
+
+    Parameters:
+        seed: schedule seed (same seed, same flaps, everywhere).
+        probability: chance a given run flaps at all.
+        window: where in the replay window the flap lands, as fractions
+            of the duration.
+    """
+
+    def __init__(self, seed=0, probability=1.0, window=(0.35, 0.65)):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("path-flap probability must be in [0, 1]")
+        lo, hi = window
+        if not 0.0 <= lo <= hi <= 1.0:
+            raise ValueError("path-flap window must satisfy 0 <= lo <= hi <= 1")
+        self.seed = seed
+        self.probability = probability
+        self.window = (lo, hi)
+        self.runs = 0
+        self.flaps_armed = 0
+        self.flaps_fired = 0
+
+    def plan(self, run_index, n_members, start_s, duration_s):
+        """The plan for ``run_index``, or None when that run won't flap."""
+        if self.probability < 1.0 and (
+            uniform_draw(self.seed, "path_flap", run_index, "fire")
+            >= self.probability
+        ):
+            return None
+        return plan_path_flap(
+            self.seed, run_index, n_members, start_s, duration_s,
+            window=self.window,
+        )
+
+    def arm(self, sim, link, start_s, duration_s):
+        """Schedule this run's flap on ``link`` (a fresh simulator's).
+
+        Returns the :class:`PathFlapPlan`, or None when the link is not
+        a multipath bundle or this run drew no flap.  Flaps that would
+        take down the last surviving member are skipped at fire time --
+        a flap degrades the bundle, it never partitions the path.
+        """
+        run_index = self.runs
+        self.runs += 1
+        members = getattr(link, "members", None)
+        if not members or len(members) < 2:
+            return None
+        plan = self.plan(run_index, len(members), start_s, duration_s)
+        if plan is None:
+            return None
+
+        def fire():
+            try:
+                link.fail_member(plan.member)
+            except ValueError:
+                return  # already down, or the last member standing
+            self.flaps_fired += 1
+            if _obs.ENABLED:
+                _obs.SINK.inc("faults.path_flap.fired")
+
+        sim.schedule(plan.time_s, fire)
+        self.flaps_armed += 1
+        if _obs.ENABLED:
+            _obs.SINK.inc("faults.path_flap.armed")
+        return plan

@@ -20,6 +20,7 @@ wide-area testbed.  It provides:
 
 from repro.netsim.engine import Simulator
 from repro.netsim.link import Link
+from repro.netsim.multipath import MultipathLink, ecmp_hash
 from repro.netsim.packet import ACK, DATA, Packet
 from repro.netsim.path import Path
 from repro.netsim.queues import DropTailQueue
@@ -31,6 +32,8 @@ from repro.netsim.udp import UdpReceiver, UdpSender
 __all__ = [
     "Simulator",
     "Link",
+    "MultipathLink",
+    "ecmp_hash",
     "Packet",
     "DATA",
     "ACK",

@@ -18,6 +18,7 @@ mechanism parameters passed through ``shaper_params``.
 from dataclasses import dataclass, field
 
 from repro.netsim.link import Link
+from repro.netsim.multipath import MultipathLink, shaped_member_subset
 from repro.netsim.path import DirectPath, Path
 from repro.netsim.qdisc import make_qdisc, qdisc_spec, supports_fidelity
 
@@ -57,6 +58,19 @@ class TopologyConfig:
     shaper: str = None
     shaper_params: tuple = ()
     shaper_seed: int = 0
+    #: ECMP bundle width of the common device: 0 builds the classic
+    #: single ``lc`` link, N >= 1 builds a :class:`MultipathLink` with
+    #: N members (each member keeps the full per-member bandwidth, so
+    #: the bundle's aggregate capacity is N x ``common_bandwidth_bps``).
+    multipath_members: int = 0
+    #: flowlet re-hash gap (seconds); None = sticky ECMP.
+    flowlet_gap_s: float = None
+    #: how many members carry the limiter (None = all of them); the
+    #: subset is a seeded draw, so a deployment that shapes only part
+    #: of the bundle is reproducible per seed.
+    multipath_shaped: int = None
+    #: ECMP hash seed of the bundle.
+    multipath_seed: int = 0
 
     def __post_init__(self):
         if self.limiter not in (None, "common", "noncommon", "perflow"):
@@ -89,6 +103,26 @@ class TopologyConfig:
                 )
         if self.shaper_params and self.shaper is None:
             raise ValueError("shaper_params requires a shaper")
+        if self.multipath_members < 0:
+            raise ValueError("multipath_members must be non-negative")
+        if self.multipath_members:
+            if self.fidelity != "packet":
+                # The fluid twins model one queue per link; a bundle's
+                # per-member hashing has no fluid counterpart (yet).
+                raise ValueError("multipath requires fidelity='packet'")
+            if self.multipath_shaped is not None and not (
+                1 <= self.multipath_shaped <= self.multipath_members
+            ):
+                raise ValueError(
+                    "multipath_shaped must be in [1, multipath_members]"
+                )
+        else:
+            if self.flowlet_gap_s is not None:
+                raise ValueError("flowlet_gap_s requires multipath_members >= 1")
+            if self.multipath_shaped is not None:
+                raise ValueError("multipath_shaped requires multipath_members >= 1")
+        if self.flowlet_gap_s is not None and self.flowlet_gap_s <= 0:
+            raise ValueError("flowlet_gap_s must be positive")
 
 
 class FigureOneTopology:
@@ -100,15 +134,53 @@ class FigureOneTopology:
 
         mean_rtt = (config.rtt_1 + config.rtt_2) / 2.0
         self._limiter_index = 0
-        if config.limiter == "common":
-            common_qdisc = self._make_limiter(config.shaper or "tbf", mean_rtt)
-        elif config.limiter == "perflow":
-            common_qdisc = self._make_perflow(mean_rtt)
+        self._common_limiter_qdiscs = []
+        if config.multipath_members:
+            # The common device is an ECMP bundle: each member gets its
+            # own qdisc instance (distinct derived seeds for randomized
+            # mechanisms), and only the seeded ``multipath_shaped``
+            # subset carries the limiter -- the rest are plain FIFOs.
+            # The deployment's shaped capacity is split evenly across
+            # the shaped members, so the Section-6.2 load definition
+            # (input at ``input_rate_factor`` times the limiter rate)
+            # still holds per member when flows spread evenly; per-flow
+            # policers keep their full per-flow rate, which hashing
+            # cannot dilute.
+            shaped = set(
+                shaped_member_subset(
+                    config.multipath_members,
+                    config.multipath_members
+                    if config.multipath_shaped is None
+                    else config.multipath_shaped,
+                    config.multipath_seed,
+                )
+            )
+            member_rate = None
+            if config.limiter == "common":
+                member_rate = config.limiter_rate_bps / len(shaped)
+            member_qdiscs = [
+                self._common_qdisc(mean_rtt, rate_bps=member_rate)
+                if index in shaped
+                else self._make_plain()
+                for index in range(config.multipath_members)
+            ]
+            self.link_c = MultipathLink(
+                sim,
+                "lc",
+                config.common_bandwidth_bps,
+                config.common_delay_s,
+                member_qdiscs,
+                seed=config.multipath_seed,
+                flowlet_gap_s=config.flowlet_gap_s,
+            )
         else:
-            common_qdisc = self._make_plain()
-        self.link_c = Link(
-            sim, "lc", config.common_bandwidth_bps, config.common_delay_s, common_qdisc
-        )
+            self.link_c = Link(
+                sim,
+                "lc",
+                config.common_bandwidth_bps,
+                config.common_delay_s,
+                self._common_qdisc(mean_rtt),
+            )
 
         self.noncommon_links = []
         self._rtts = []
@@ -132,6 +204,20 @@ class FigureOneTopology:
         self.link_1 = self.noncommon_links[0]
         self.link_2 = self.noncommon_links[1]
 
+    def _common_qdisc(self, mean_rtt, rate_bps=None):
+        """One common-device qdisc instance per the limiter placement."""
+        config = self.config
+        if config.limiter == "common":
+            qdisc = self._make_limiter(
+                config.shaper or "tbf", mean_rtt, rate_bps=rate_bps
+            )
+        elif config.limiter == "perflow":
+            qdisc = self._make_perflow(mean_rtt)
+        else:
+            return self._make_plain()
+        self._common_limiter_qdiscs.append(qdisc)
+        return qdisc
+
     def _make_plain(self):
         return make_qdisc(
             "droptail",
@@ -151,12 +237,12 @@ class FigureOneTopology:
             self._limiter_index += 1
         return params
 
-    def _make_limiter(self, mechanism, rtt):
+    def _make_limiter(self, mechanism, rtt, rate_bps=None):
         config = self.config
         return make_qdisc(
             mechanism,
             fidelity=config.fidelity,
-            rate_bps=config.limiter_rate_bps,
+            rate_bps=config.limiter_rate_bps if rate_bps is None else rate_bps,
             rtt_s=rtt,
             queue_factor=config.queue_factor,
             fifo_capacity=config.queue_capacity_bytes,
@@ -196,7 +282,18 @@ class FigureOneTopology:
 
     @property
     def limiter_qdisc(self):
-        """The rate-limiting qdisc on ``lc``, if any."""
+        """The rate-limiting qdisc on ``lc``, if any.
+
+        For a multipath common device there is one limiter instance per
+        shaped member; this returns the first (see
+        :attr:`limiter_qdiscs` for all of them).
+        """
         if self.config.limiter in ("common", "perflow"):
-            return self.link_c.qdisc
+            if self._common_limiter_qdiscs:
+                return self._common_limiter_qdiscs[0]
         return None
+
+    @property
+    def limiter_qdiscs(self):
+        """Every limiter qdisc instance on the common device."""
+        return tuple(self._common_limiter_qdiscs)

@@ -21,7 +21,17 @@ The harvested ``netsim.tbf.drops_total`` counter double-books the live
 
 
 def harvest_link(sink, link, elapsed):
-    """Record one link's end-of-run statistics."""
+    """Record one link's end-of-run statistics.
+
+    A multipath bundle (anything exposing ``members``) is harvested as
+    one logical link -- the aggregates land under the *parent* name,
+    and the per-member qdiscs are harvested individually so shaper
+    counters keep double-booking their live twins.
+    """
+    members = getattr(link, "members", None)
+    if members is not None:
+        _harvest_multipath(sink, link, members, elapsed)
+        return
     utilization = link.utilization(elapsed)
     sink.observe("netsim.link.utilization", utilization)
     sink.set_gauge(f"netsim.link.utilization.{link.name}", utilization)
@@ -29,6 +39,42 @@ def harvest_link(sink, link, elapsed):
     sink.inc("netsim.link.packets_sent", link.packets_sent)
     sink.inc("netsim.link.packets_offered", link.packets_offered)
     harvest_qdisc(sink, link.qdisc)
+
+
+def _harvest_multipath(sink, link, members, elapsed):
+    """Aggregate a bundle under its parent name + double-entry totals.
+
+    ``netsim.multipath.parent_offered_total`` (the bundle's own offered
+    counter) and ``netsim.multipath.member_offered_total`` (the sum of
+    the members' offered counters) book the same packets through two
+    independent paths; ``tests/obs`` asserts they agree, as do the
+    harvested ``rehashes_total``/``flowlet_switches_total`` against the
+    live ``netsim.multipath.rehashes``/``flowlet_switches`` counters.
+    """
+    utilization = link.utilization(elapsed)
+    sink.observe("netsim.link.utilization", utilization)
+    sink.set_gauge(f"netsim.link.utilization.{link.name}", utilization)
+    sink.inc("netsim.link.bytes_sent", link.bytes_sent)
+    sink.inc("netsim.link.packets_sent", link.packets_sent)
+    sink.inc("netsim.link.packets_offered", link.packets_offered)
+    sink.set_gauge(f"netsim.multipath.members.{link.name}", len(members))
+    sink.inc("netsim.multipath.parent_offered_total", link.packets_offered)
+    sink.inc(
+        "netsim.multipath.member_offered_total",
+        sum(member.packets_offered for member in members),
+    )
+    sink.inc(
+        "netsim.multipath.member_drops",
+        sum(member.qdisc.drops for member in members),
+    )
+    sink.inc("netsim.multipath.rehashes_total", link.rehashes)
+    sink.inc("netsim.multipath.flowlet_switches_total", link.flowlet_switches)
+    for member in members:
+        sink.set_gauge(
+            f"netsim.link.utilization.{member.name}",
+            member.utilization(elapsed),
+        )
+        harvest_qdisc(sink, member.qdisc)
 
 
 def harvest_qdisc(sink, qdisc):

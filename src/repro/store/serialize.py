@@ -60,12 +60,18 @@ def config_to_dict(config):
     the mechanism axis was added after the store shipped, and omission
     keeps every pre-shaper record -- and, downstream, every cache key
     computed over this dict -- byte-identical for default (TBF)
-    scenarios.
+    scenarios.  The multipath knobs follow the same rule (omitted when
+    ``multipath`` is 0/absent): pre-multipath keys and record streams
+    stay byte-identical.
     """
     data = plain(dataclasses.asdict(config))
     if data.get("shaper") is None:
         data.pop("shaper", None)
         data.pop("shaper_params", None)
+    if not data.get("multipath"):
+        data.pop("multipath", None)
+        data.pop("flowlet_gap_s", None)
+        data.pop("multipath_shaped", None)
     return data
 
 

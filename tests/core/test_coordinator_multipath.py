@@ -1,0 +1,283 @@
+"""Coordinator re-hash recovery: port draws, telemetry, audit trail.
+
+The replay service and localizer are replaced with scripted fakes so
+every test pins the *policy* (when to redraw ports, what to keep, what
+to count) without simulating, which keeps the file fast and the
+assertions exact.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.coordinator as coordinator_mod
+from repro.core.coordinator import (
+    CoordinationStatus,
+    WeHeYCoordinator,
+    replay_entropy,
+)
+from repro.core.localizer import (
+    FLOWLET_SPLIT,
+    MULTIPATH_SUSPECT,
+    LocalizationOutcome,
+    LocalizationReport,
+    Mechanism,
+)
+from repro.experiments.scenarios import ScenarioConfig
+from repro.faults import ReplayAbortedError
+from repro.netsim.multipath import EPHEMERAL_PORT_HI, EPHEMERAL_PORT_LO
+from repro.obs import metrics as obs_metrics
+
+CLIENT = "c0"
+
+
+def suspect_report(code=MULTIPATH_SUSPECT, fallback="collective-throttling"):
+    return LocalizationReport(
+        outcome=LocalizationOutcome.NO_EVIDENCE,
+        mechanism=Mechanism.NONE,
+        reason="evidence inconsistent with one shared limiter",
+        reason_code=code,
+        fallback_reason_code=fallback,
+    )
+
+
+def collective_report():
+    return LocalizationReport(
+        outcome=LocalizationOutcome.EVIDENCE_IN_TARGET_AREA,
+        mechanism=Mechanism.COLLECTIVE_THROTTLING,
+        reason="loss trends of the two paths are significantly correlated",
+        reason_code="collective-throttling",
+    )
+
+
+def no_common_report():
+    return LocalizationReport(
+        outcome=LocalizationOutcome.NO_EVIDENCE,
+        mechanism=Mechanism.NONE,
+        reason="no common bottleneck detected",
+        reason_code="no-common-bottleneck",
+    )
+
+
+class FakeClient:
+    name = CLIENT
+    ip = "10.0.0.1"
+    asn = 64500
+
+
+class FakeEntry:
+    server_pair = ("s1", "s2")
+
+
+class FakeInternet:
+    def find_client(self, name):
+        assert name == CLIENT
+        return FakeClient()
+
+
+class FakeDatabase:
+    def lookup(self, ip, asn):
+        return [FakeEntry()]
+
+    def invalidate(self, entry):
+        pass
+
+
+class FakeVerifier:
+    def verify(self, entry, client_name):
+        return True
+
+
+class Harness:
+    """A coordinator whose localizer plays back a scripted report list."""
+
+    def __init__(self, monkeypatch, script, scenario=None, **kwargs):
+        self.ports_seen = []
+        self.aware_seen = []
+        script = list(script)
+        ports_seen = self.ports_seen
+        aware_seen = self.aware_seen
+
+        class RecordingService:
+            def __init__(
+                self, config, entropy=0, fault_injector=None, replay_ports=None
+            ):
+                ports_seen.append(replay_ports)
+                self._trace_rng = np.random.default_rng(0)
+
+        class ScriptedLocalizer:
+            def __init__(self, rng, tdiff, multipath_aware=False):
+                aware_seen.append(multipath_aware)
+
+            def localize(self, service, original, inverted):
+                step = script.pop(0)
+                if isinstance(step, Exception):
+                    raise step
+                return step
+
+        monkeypatch.setattr(
+            coordinator_mod, "NetsimReplayService", RecordingService
+        )
+        monkeypatch.setattr(
+            coordinator_mod, "WeHeYLocalizer", ScriptedLocalizer
+        )
+        monkeypatch.setattr(
+            coordinator_mod,
+            "rtts_from_traceroutes",
+            lambda *args, **kw: (0.03, 0.04),
+        )
+        self.scenario = scenario or ScenarioConfig(
+            app="zoom", limiter="common", duration=25.0, multipath=2
+        )
+        self.coordinator = WeHeYCoordinator(
+            FakeInternet(),
+            FakeDatabase(),
+            FakeVerifier(),
+            self.scenario,
+            np.random.default_rng(5),
+            np.random.default_rng(9).normal(0.0, 0.08, 80),
+            **kwargs,
+        )
+
+    def run(self):
+        return self.coordinator.run_test(CLIENT, app="zoom")
+
+
+def expected_ports(scenario, n, attempt_index=0):
+    rng = np.random.default_rng(
+        np.random.SeedSequence(
+            [0xEC49, scenario.seed, replay_entropy(CLIENT, attempt_index)]
+        )
+    )
+    return [
+        tuple(
+            int(p)
+            for p in rng.integers(
+                EPHEMERAL_PORT_LO, EPHEMERAL_PORT_HI + 1, size=2
+            )
+        )
+        for _ in range(n)
+    ]
+
+
+class TestRehashRecovery:
+    def test_retries_until_localized(self, monkeypatch):
+        harness = Harness(
+            monkeypatch,
+            [suspect_report(), suspect_report(), collective_report()],
+        )
+        report = harness.run()
+        assert report.status is CoordinationStatus.COMPLETED
+        assert report.localization.reason_code == "collective-throttling"
+        assert report.localized
+        assert harness.coordinator.telemetry["multipath_retries"] == 2
+        assert harness.coordinator.telemetry["multipath_recovered"] == 1
+
+    def test_port_draws_recorded_and_deterministic(self, monkeypatch):
+        harness = Harness(
+            monkeypatch,
+            [suspect_report(), suspect_report(), collective_report()],
+        )
+        harness.run()
+        # First run uses derived default ports; each retry a fresh draw.
+        assert harness.ports_seen[0] is None
+        assert harness.ports_seen[1:] == expected_ports(harness.scenario, 2)
+        for ports in harness.ports_seen[1:]:
+            for port in ports:
+                assert EPHEMERAL_PORT_LO <= port <= EPHEMERAL_PORT_HI
+
+    def test_audit_log_has_one_record_per_redraw(self, monkeypatch):
+        harness = Harness(
+            monkeypatch,
+            [suspect_report(), suspect_report(), collective_report()],
+        )
+        report = harness.run()
+        rehash = [a for a in report.attempts if a.ports is not None]
+        assert len(rehash) == 2
+        assert rehash[0].reason == "multipath re-hash retry -> multipath-suspect"
+        assert rehash[1].reason == (
+            "multipath re-hash retry -> collective-throttling"
+        )
+        assert [a.ports for a in rehash] == expected_ports(harness.scenario, 2)
+        assert all(a.failure is None for a in rehash)
+        # The completed record still closes the log.
+        assert report.attempts[-1].reason == "completed"
+
+    def test_exhausted_budget_keeps_freshest_suspicion(self, monkeypatch):
+        # Draws that come back empty-handed may be split-path collateral:
+        # the suspect finding persists, updated by later suspect draws.
+        harness = Harness(
+            monkeypatch,
+            [
+                suspect_report(),
+                no_common_report(),
+                suspect_report(code=FLOWLET_SPLIT, fallback=""),
+                no_common_report(),
+                no_common_report(),
+            ],
+        )
+        report = harness.run()
+        assert report.status is CoordinationStatus.COMPLETED
+        assert harness.coordinator.telemetry["multipath_retries"] == 4
+        assert harness.coordinator.telemetry["multipath_recovered"] == 0
+        assert report.localization.multipath_suspect
+        assert report.localization.reason_code == FLOWLET_SPLIT
+        assert not report.localized
+
+    def test_no_redraw_without_suspicion(self, monkeypatch):
+        harness = Harness(monkeypatch, [collective_report()])
+        report = harness.run()
+        assert report.status is CoordinationStatus.COMPLETED
+        assert harness.ports_seen == [None]
+        assert harness.coordinator.telemetry["multipath_retries"] == 0
+        assert all(a.ports is None for a in report.attempts)
+
+    def test_retry_budget_configurable(self, monkeypatch):
+        harness = Harness(
+            monkeypatch,
+            [suspect_report(), no_common_report()],
+            multipath_rehash_retries=1,
+        )
+        report = harness.run()
+        assert harness.coordinator.telemetry["multipath_retries"] == 1
+        assert report.localization.reason_code == MULTIPATH_SUSPECT
+
+    def test_aborted_retry_keeps_last_honest_report(self, monkeypatch):
+        harness = Harness(
+            monkeypatch,
+            [suspect_report(), ReplayAbortedError("mid-retry abort")],
+        )
+        report = harness.run()
+        assert report.status is CoordinationStatus.COMPLETED
+        assert report.localization.reason_code == MULTIPATH_SUSPECT
+        rehash = [a for a in report.attempts if a.ports is not None]
+        assert len(rehash) == 1
+        assert rehash[0].reason == "multipath re-hash retry -> replay-aborted"
+
+    def test_awareness_requires_multipath_bundle(self, monkeypatch):
+        plain = ScenarioConfig(app="zoom", limiter="common", duration=25.0)
+        harness = Harness(monkeypatch, [collective_report()], scenario=plain)
+        harness.run()
+        assert harness.aware_seen == [False]
+
+        degenerate = plain.with_(multipath=1)
+        harness = Harness(
+            monkeypatch, [collective_report()], scenario=degenerate
+        )
+        harness.run()
+        assert harness.aware_seen == [False]
+
+        bundled = plain.with_(multipath=2)
+        harness = Harness(monkeypatch, [collective_report()], scenario=bundled)
+        harness.run()
+        assert harness.aware_seen == [True]
+
+    def test_obs_counters_booked(self, monkeypatch):
+        harness = Harness(
+            monkeypatch, [suspect_report(), collective_report()]
+        )
+        sink = obs_metrics.MetricsSink()
+        with obs_metrics.use_sink(sink):
+            harness.run()
+        counters = sink.snapshot()["counters"]
+        assert counters["coordinator.multipath_retries"] == 1
+        assert counters["coordinator.multipath_recovered"] == 1

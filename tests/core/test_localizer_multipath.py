@@ -1,0 +1,180 @@
+"""Multipath-aware localizer: suspicion rules and graceful degradation."""
+
+import numpy as np
+import pytest
+
+from repro.core.localizer import (
+    FLOWLET_SPLIT,
+    MULTIPATH_SUSPECT,
+    LocalizationOutcome,
+    Mechanism,
+    SimultaneousReplayResult,
+    WeHeYLocalizer,
+)
+from repro.netsim.capture import PathMeasurements
+from repro.obs import metrics as obs_metrics
+from repro.wehe.traces import Trace
+
+
+def trace_pair():
+    original = Trace("app", "udp", ((0.0, 500), (0.02, 500)), sni="x.com")
+    inverted = Trace("app", "udp", ((0.0, 500), (0.02, 500)), sni=None)
+    return original, inverted
+
+
+def throughput(rng, mean, n=100, cv=0.03):
+    return rng.normal(mean, cv * mean, n)
+
+
+def measurements(rng, regime="shared"):
+    """Loss logs: 'shared', 'independent', or 'flips' mid-test."""
+    sends = np.sort(rng.uniform(0, 60, 12000))
+    trend = 1.0 + 0.8 * np.sin(2 * np.pi * sends / 8.0)
+    p1 = np.clip(0.03 * trend, 0, 1)
+    anti = np.clip(0.03 * (2.0 - trend), 0, 1)
+    if regime == "shared":
+        p2 = p1
+    elif regime == "independent":
+        p2 = anti
+    else:  # flips: correlated first half, anti-correlated second half
+        p2 = np.where(sends < 30.0, p1, anti)
+    m1 = PathMeasurements(sends, sends[rng.random(len(sends)) < p1], 0.035)
+    m2 = PathMeasurements(sends, sends[rng.random(len(sends)) < p2], 0.035)
+    return m1, m2
+
+
+class FakeService:
+    """Scripted replays with independent per-path simultaneous means."""
+
+    def __init__(
+        self,
+        rng,
+        single_mean=2.5e6,
+        sim_means=(1.25e6, 1.25e6),
+        inverted_mean=8e6,
+        regime="shared",
+    ):
+        self.rng = rng
+        self.single_mean = single_mean
+        self.sim_means = sim_means
+        self.inverted_mean = inverted_mean
+        self.regime = regime
+
+    def single_replay(self, trace):
+        return throughput(self.rng, self.single_mean)
+
+    def simultaneous_replay(self, trace):
+        if trace.is_original:
+            mean_1, mean_2 = self.sim_means
+        else:
+            mean_1 = mean_2 = self.inverted_mean
+        m1, m2 = measurements(self.rng, regime=self.regime)
+        return SimultaneousReplayResult(
+            samples_1=throughput(self.rng, mean_1),
+            samples_2=throughput(self.rng, mean_2),
+            measurements_1=m1,
+            measurements_2=m2,
+        )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)
+
+
+@pytest.fixture
+def tdiff(rng):
+    return rng.normal(0.0, 0.08, 100)
+
+
+def localize(service, rng, tdiff, aware=True):
+    localizer = WeHeYLocalizer(rng, tdiff, multipath_aware=aware)
+    original, inverted = trace_pair()
+    return localizer.localize(service, original, inverted)
+
+
+class TestSuspicionRules:
+    def test_asymmetric_shares_flag_suspect(self, rng, tdiff):
+        # One replay at 2.2, the other at 1.1 of a 2.5 single mean:
+        # different members, different background mixes.
+        service = FakeService(
+            rng, sim_means=(2.2e6, 1.1e6), regime="shared"
+        )
+        report = localize(service, rng, tdiff)
+        assert report.reason_code == MULTIPATH_SUSPECT
+        assert report.multipath_suspect
+        assert report.outcome is LocalizationOutcome.NO_EVIDENCE
+        assert report.mechanism is Mechanism.NONE
+        # The loss trend did correlate: that is the verdict the
+        # suspicion vetoed.
+        assert report.fallback_reason_code == "collective-throttling"
+
+    def test_super_additive_aggregate_flags_suspect(self, rng, tdiff):
+        # Symmetric, but each path sustains ~1.5x the single replay:
+        # two limiter instances, not one shared one.
+        service = FakeService(
+            rng, sim_means=(3.8e6, 3.8e6), regime="independent"
+        )
+        report = localize(service, rng, tdiff)
+        assert report.reason_code == MULTIPATH_SUSPECT
+        assert report.fallback_reason_code == "no-common-bottleneck"
+
+    def test_flowlet_regime_change_flags_split(self, rng, tdiff):
+        # Aggregate (2.0) clearly below the single mean (2.5), so the
+        # per-client branch stays quiet and suspicion is evaluated.
+        service = FakeService(
+            rng, sim_means=(1.0e6, 1.0e6), regime="flips"
+        )
+        report = localize(service, rng, tdiff)
+        assert report.reason_code == FLOWLET_SPLIT
+        assert report.multipath_suspect
+
+    def test_symmetric_shared_shares_still_localize(self, rng, tdiff):
+        # The genuine collective cell: symmetric sub-single shares and
+        # a shared loss trend must keep localizing when aware.
+        service = FakeService(
+            rng, sim_means=(1.0e6, 1.0e6), regime="shared"
+        )
+        report = localize(service, rng, tdiff)
+        assert report.reason_code == "collective-throttling"
+        assert not report.multipath_suspect
+        assert report.localized
+
+    def test_unaware_localizer_unchanged(self, rng, tdiff):
+        # The legacy pipeline must return the confident (wrong) verdict
+        # -- byte-for-byte the pre-multipath behaviour.
+        service = FakeService(
+            rng, sim_means=(2.2e6, 1.1e6), regime="shared"
+        )
+        report = localize(service, rng, tdiff, aware=False)
+        assert report.reason_code == "collective-throttling"
+        assert not report.multipath_suspect
+        assert report.fallback_reason_code == ""
+
+    def test_suspect_obs_counter_booked(self, rng, tdiff):
+        service = FakeService(
+            rng, sim_means=(2.2e6, 1.1e6), regime="shared"
+        )
+        sink = obs_metrics.MetricsSink()
+        with obs_metrics.use_sink(sink):
+            report = localize(service, rng, tdiff)
+        assert report.multipath_suspect
+        counters = sink.snapshot()["counters"]
+        assert counters["localizer.suspect.multipath-suspect"] == 1
+
+
+class TestReportShape:
+    def test_suspect_report_carries_detector_results(self, rng, tdiff):
+        service = FakeService(
+            rng, sim_means=(2.2e6, 1.1e6), regime="shared"
+        )
+        report = localize(service, rng, tdiff)
+        assert report.confirmation_1 is not None
+        assert report.confirmation_2 is not None
+        assert report.loss_result is not None
+
+    def test_fallback_reason_default_empty(self, rng, tdiff):
+        service = FakeService(rng, sim_means=(1.25e6, 1.25e6))
+        report = localize(service, rng, tdiff)
+        if not report.multipath_suspect:
+            assert report.fallback_reason_code == ""

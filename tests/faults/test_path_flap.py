@@ -1,0 +1,140 @@
+"""Seeded path flaps: plan determinism, arming, and firing."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import NetsimReplayService
+from repro.experiments.scenarios import ScenarioConfig
+from repro.faults import PathFlapInjector, PathFlapPlan, plan_path_flap
+from repro.netsim.engine import Simulator
+from repro.netsim.multipath import MultipathLink
+from repro.netsim.queues import DropTailQueue
+from repro.obs import metrics as obs_metrics
+from repro.wehe.apps import make_trace
+
+
+def make_bundle(sim, n):
+    qdiscs = [DropTailQueue(10_000_000) for _ in range(n)]
+    return MultipathLink(sim, "lc", 8e6, 0.0, qdiscs)
+
+
+class TestPlan:
+    def test_deterministic(self):
+        a = plan_path_flap(7, 3, 4, 2.0, 10.0)
+        b = plan_path_flap(7, 3, 4, 2.0, 10.0)
+        assert a == b
+        assert isinstance(a, PathFlapPlan)
+
+    def test_seed_and_run_redraw(self):
+        base = plan_path_flap(7, 3, 4, 2.0, 10.0)
+        assert plan_path_flap(8, 3, 4, 2.0, 10.0) != base
+        assert plan_path_flap(7, 4, 4, 2.0, 10.0) != base
+
+    def test_time_inside_window(self):
+        for seed in range(5):
+            for run in range(5):
+                plan = plan_path_flap(seed, run, 4, 2.0, 10.0)
+                assert 2.0 + 0.35 * 10.0 <= plan.time_s <= 2.0 + 0.65 * 10.0
+                assert 0 <= plan.member < 4
+
+    def test_custom_window(self):
+        plan = plan_path_flap(0, 0, 2, 0.0, 10.0, window=(0.9, 1.0))
+        assert 9.0 <= plan.time_s <= 10.0
+
+
+class TestInjector:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            PathFlapInjector(probability=1.5)
+        with pytest.raises(ValueError):
+            PathFlapInjector(window=(0.8, 0.2))
+
+    def test_probability_gates_runs(self):
+        never = PathFlapInjector(seed=0, probability=0.0)
+        always = PathFlapInjector(seed=0, probability=1.0)
+        sometimes = PathFlapInjector(seed=0, probability=0.5)
+        decisions = [
+            sometimes.plan(run, 4, 0.0, 10.0) is not None for run in range(40)
+        ]
+        assert all(never.plan(run, 4, 0.0, 10.0) is None for run in range(40))
+        assert all(
+            always.plan(run, 4, 0.0, 10.0) is not None for run in range(40)
+        )
+        assert any(decisions) and not all(decisions)
+        # The gate is part of the schedule: same seed, same decisions.
+        replay = PathFlapInjector(seed=0, probability=0.5)
+        assert decisions == [
+            replay.plan(run, 4, 0.0, 10.0) is not None for run in range(40)
+        ]
+
+    def test_arm_skips_plain_links(self):
+        class PlainLink:
+            members = None
+
+        injector = PathFlapInjector(seed=1)
+        sim = Simulator()
+        assert injector.arm(sim, PlainLink(), 0.0, 10.0) is None
+        assert injector.runs == 1
+        assert injector.flaps_armed == 0
+
+    def test_armed_flap_takes_member_down(self):
+        injector = PathFlapInjector(seed=1)
+        sim = Simulator()
+        bundle = make_bundle(sim, 4)
+        plan = injector.arm(sim, bundle, 0.0, 10.0)
+        assert plan is not None
+        assert injector.flaps_armed == 1
+        sim.run()
+        assert injector.flaps_fired == 1
+        assert plan.member not in bundle.up_members
+        assert len(bundle.up_members) == 3
+
+    def test_last_member_standing_is_never_failed(self):
+        injector = PathFlapInjector(seed=1)
+        sim = Simulator()
+        bundle = make_bundle(sim, 2)
+        plan = injector.arm(sim, bundle, 0.0, 10.0)
+        # The other member dies first; the flap must fizzle, not raise.
+        bundle.fail_member(1 - plan.member)
+        sim.run()
+        assert injector.flaps_fired == 0
+        assert bundle.up_members == (plan.member,)
+
+    def test_obs_counters(self):
+        sink = obs_metrics.MetricsSink()
+        with obs_metrics.use_sink(sink):
+            injector = PathFlapInjector(seed=1)
+            sim = Simulator()
+            bundle = make_bundle(sim, 2)
+            injector.arm(sim, bundle, 0.0, 10.0)
+            sim.run()
+        counters = sink.snapshot()["counters"]
+        assert counters["faults.path_flap.armed"] == 1
+        assert counters["faults.path_flap.fired"] == 1
+
+
+class TestServiceIntegration:
+    def test_flap_fires_during_simultaneous_replay(self):
+        config = ScenarioConfig(
+            app="zoom", limiter="common", duration=4.0, seed=0, multipath=2
+        )
+        injector = PathFlapInjector(seed=3, probability=1.0)
+        service = NetsimReplayService(config, path_flap=injector)
+        trace = make_trace(config.app, config.duration, service._trace_rng)
+        service.simultaneous_replay(trace)
+        assert injector.flaps_armed >= 1
+        assert injector.flaps_fired >= 1
+        link = service.last_environment.topology.link_c
+        assert len(link.up_members) == 1
+        assert link.rehashes >= 1  # survivors inherited the flows
+
+    def test_plain_scenario_arms_nothing(self):
+        config = ScenarioConfig(
+            app="zoom", limiter="common", duration=4.0, seed=0
+        )
+        injector = PathFlapInjector(seed=3, probability=1.0)
+        service = NetsimReplayService(config, path_flap=injector)
+        trace = make_trace(config.app, config.duration, service._trace_rng)
+        service.simultaneous_replay(trace)
+        assert injector.runs >= 1
+        assert injector.flaps_armed == 0

@@ -1,0 +1,96 @@
+"""Double-entry checks for the ``netsim.multipath.*`` counters.
+
+The bundle books every offered packet on a live counter *and* exposes
+per-member statistics the harvest aggregates independently; the two
+ledgers must agree.  Likewise, flowlet switches and down-member
+re-hashes are counted live in the routing hot path and re-booked by the
+harvest from the bundle's own totals.
+"""
+
+import pytest
+
+from repro.api import SweepRequest, run_sweep
+from repro.experiments.scenarios import ScenarioConfig
+
+DURATION = 4.0
+
+
+def _configs():
+    return [
+        ScenarioConfig(
+            app="zoom",
+            duration=DURATION,
+            seed=0,
+            limiter="common",
+            multipath=2,
+        ),
+        ScenarioConfig(
+            app="zoom",
+            duration=DURATION,
+            seed=1,
+            limiter="common",
+            multipath=2,
+            flowlet_gap_s=0.01,
+        ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def metered():
+    """One serial metered multipath sweep shared by the cross-checks."""
+    return run_sweep(SweepRequest.detection(_configs(), jobs=1, metrics=True))
+
+
+class TestMultipathCounters:
+    def test_member_offered_equals_parent_offered(self, metered):
+        counters = metered.metrics["counters"]
+        assert counters["netsim.multipath.parent_offered_total"] > 0
+        assert (
+            counters["netsim.multipath.parent_offered_total"]
+            == counters["netsim.multipath.member_offered_total"]
+        )
+
+    def test_flowlet_switches_double_booked(self, metered):
+        counters = metered.metrics["counters"]
+        # The gap=0.01 cell must actually switch flows mid-test.
+        assert counters["netsim.multipath.flowlet_switches"] > 0
+        assert (
+            counters["netsim.multipath.flowlet_switches"]
+            == counters["netsim.multipath.flowlet_switches_total"]
+        )
+
+    def test_rehash_ledgers_agree(self, metered):
+        counters = metered.metrics["counters"]
+        # No member went down in these runs: both ledgers say zero.
+        assert counters.get("netsim.multipath.rehashes", 0) == counters.get(
+            "netsim.multipath.rehashes_total", 0
+        )
+
+    def test_member_gauge_exported(self, metered):
+        gauges = metered.metrics["gauges"]
+        assert gauges["netsim.multipath.members.lc"] == 2
+
+    def test_member_drops_counted(self, metered):
+        counters = metered.metrics["counters"]
+        assert counters["netsim.multipath.member_drops"] >= 0
+
+    def test_plain_sweep_books_no_multipath_counters(self):
+        result = run_sweep(
+            SweepRequest.detection(
+                [
+                    ScenarioConfig(
+                        app="zoom",
+                        duration=DURATION,
+                        seed=0,
+                        limiter="common",
+                    )
+                ],
+                jobs=1,
+                metrics=True,
+            )
+        )
+        counters = result.metrics["counters"]
+        multipath_keys = [
+            key for key in counters if key.startswith("netsim.multipath.")
+        ]
+        assert multipath_keys == []

@@ -34,7 +34,14 @@ FIELD_CHANGES = {
     "fidelity": "hybrid",
     "shaper": "red",
     "shaper_params": (("max_p", 0.2),),
+    "multipath": 2,
+    "flowlet_gap_s": 0.05,
+    "multipath_shaped": 1,
 }
+
+#: Knobs only legal alongside ``multipath``; their sensitivity is
+#: checked relative to a multipath base (like shaper_params vs shaper).
+MULTIPATH_DEPENDENT = {"flowlet_gap_s", "multipath_shaped"}
 
 
 class TestDetectionKeyStability:
@@ -54,6 +61,11 @@ class TestDetectionKeyStability:
                 shaped_key = detection_cache_key(BASE.with_(shaper="red"))
                 changed = BASE.with_(shaper="red", **{field: value})
                 assert detection_cache_key(changed) != shaped_key, field
+                continue
+            if field in MULTIPATH_DEPENDENT:
+                bundle_key = detection_cache_key(BASE.with_(multipath=2))
+                changed = BASE.with_(multipath=2, **{field: value})
+                assert detection_cache_key(changed) != bundle_key, field
                 continue
             changed = BASE.with_(**{field: value})
             assert detection_cache_key(changed) != base_key, field
@@ -106,6 +118,46 @@ class TestShaperKeyCompat:
         a = BASE.with_(shaper="red", shaper_params=(("max_p", 0.2),))
         b = BASE.with_(shaper="red", shaper_params=(("max_p", 0.3),))
         assert detection_cache_key(a) != detection_cache_key(b)
+
+
+class TestMultipathKeyCompat:
+    """The multipath axis must not shift pre-multipath cache keys."""
+
+    def test_default_multipath_key_matches_legacy_dict(self):
+        from repro.store.serialize import config_from_dict, config_to_dict
+
+        data = config_to_dict(BASE)
+        assert "multipath" not in data
+        assert "flowlet_gap_s" not in data
+        assert "multipath_shaped" not in data
+        # A record written before the multipath axis existed
+        # deserializes to the same config, hence the same key.
+        assert config_from_dict(data) == BASE
+        assert detection_cache_key(config_from_dict(data)) == (
+            detection_cache_key(BASE)
+        )
+
+    def test_multipath_round_trips_and_changes_key(self):
+        from repro.store.serialize import config_from_dict, config_to_dict
+
+        bundled = BASE.with_(
+            multipath=4, flowlet_gap_s=0.02, multipath_shaped=2
+        )
+        data = config_to_dict(bundled)
+        assert data["multipath"] == 4
+        assert config_from_dict(data) == bundled
+        assert detection_cache_key(bundled) != detection_cache_key(BASE)
+
+    def test_every_multipath_knob_changes_key(self):
+        base = BASE.with_(multipath=2)
+        base_key = detection_cache_key(base)
+        assert detection_cache_key(BASE.with_(multipath=4)) != base_key
+        assert (
+            detection_cache_key(base.with_(flowlet_gap_s=0.02)) != base_key
+        )
+        assert (
+            detection_cache_key(base.with_(multipath_shaped=1)) != base_key
+        )
 
 
 class TestFaultProfileId:

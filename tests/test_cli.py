@@ -144,3 +144,47 @@ class TestQdiscCommand:
         out = capsys.readouterr().out
         assert "ok" in out
         assert "FAILED" not in out
+
+
+class TestMultipathArguments:
+    def test_multipath_defaults_off(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.multipath == 0
+        assert args.flowlet_gap is None
+
+    def test_multipath_and_gap_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--multipath", "4", "--flowlet-gap", "0.03"]
+        )
+        assert args.multipath == 4
+        assert args.flowlet_gap == 0.03
+
+    def test_scenario_threading(self):
+        from repro.cli import _scenario_from
+
+        args = build_parser().parse_args(
+            ["localize", "--app", "zoom", "--multipath", "2",
+             "--flowlet-gap", "0.05"]
+        )
+        config = _scenario_from(args)
+        assert config.multipath == 2
+        assert config.flowlet_gap_s == 0.05
+        plain = _scenario_from(build_parser().parse_args(["localize"]))
+        assert plain.multipath == 0
+        assert plain.flowlet_gap_s is None
+
+    def test_gap_without_multipath_is_a_usage_error(self, capsys):
+        code = main(
+            ["sweep", "--app", "zoom", "--seeds", "1", "--duration", "4",
+             "--flowlet-gap", "0.03"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_with_multipath_runs(self, capsys):
+        code = main(
+            ["sweep", "--app", "zoom", "--limiter", "common", "--seeds", "1",
+             "--duration", "4", "--multipath", "2"]
+        )
+        assert code == 0
+        assert "FN rate:" in capsys.readouterr().out
